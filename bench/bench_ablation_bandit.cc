@@ -1,0 +1,156 @@
+// Ablation for §5.3: is the *contextual* bandit (LinUCB) worth it?
+// Compares four arm-selection policies for the "which attribute do I
+// modify" decision on the UTKFace challenge subset, holding everything
+// else fixed: LinUCB, context-free epsilon-greedy, round-robin, and an
+// oracle that reads the simulator's hidden difficulty table. Reports the
+// cumulative rejection-sampling pass rate.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/bandit/epsilon_greedy.h"
+#include "src/bandit/linucb.h"
+#include "src/core/rejection_sampler.h"
+#include "src/datasets/utkface.h"
+#include "src/embedding/simulated_embedder.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/image/mask_generator.h"
+#include "src/util/table_printer.h"
+
+using namespace chameleon;
+
+namespace {
+
+constexpr int kRounds = 600;
+
+enum class Policy { kLinUcb, kEpsilonGreedy, kRoundRobin, kOracle };
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kLinUcb:
+      return "LinUCB";
+    case Policy::kEpsilonGreedy:
+      return "epsilon-greedy (0.1)";
+    case Policy::kRoundRobin:
+      return "round-robin";
+    case Policy::kOracle:
+      return "quality oracle";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: arm-selection policy for guide modification ===\n");
+
+  const embedding::SimulatedEmbedder embedder;
+  datasets::ChallengeOptions challenge;
+  auto corpus = datasets::MakeUtkFaceChallengeSubset(&embedder, challenge);
+  if (!corpus.ok()) return 1;
+  const auto& schema = corpus->dataset.schema();
+  const int d = schema.num_attributes();
+  const int64_t k = schema.NumCombinations();
+
+  fm::SimulatedFoundationModel model(schema, datasets::UtkFaceStyleFn(),
+                                     datasets::UtkFaceScene(),
+                                     fm::SimulatedFoundationModel::Options());
+  const fm::EvaluatorPool evaluators(2024);
+  core::RejectionSamplerOptions sampler_options;
+  auto sampler = core::RejectionSampler::Train(
+      corpus->Embeddings(), &evaluators, 0.86, sampler_options);
+  if (!sampler.ok()) return 1;
+
+  const auto rare = datasets::ChallengeRarePatterns();
+
+  util::TablePrinter table(
+      {"policy", "rounds", "passes", "pass rate", "quality rate"});
+
+  for (Policy policy : {Policy::kLinUcb, Policy::kEpsilonGreedy,
+                        Policy::kRoundRobin, Policy::kOracle}) {
+    util::Rng rng(4242);
+    bandit::LinUcb linucb(d, static_cast<int>(k), 0.5);
+    bandit::EpsilonGreedy epsilon_greedy(d, 0.1);
+    int64_t passes = 0;
+    int64_t quality_passes = 0;
+
+    for (int round = 0; round < kRounds; ++round) {
+      const std::vector<int> target = rare[round % rare.size()].cells();
+      const auto context =
+          bandit::LinUcb::OneHotContext(static_cast<int>(k),
+                                        schema.CombinationIndex(target));
+      int arm = 0;
+      switch (policy) {
+        case Policy::kLinUcb:
+          arm = linucb.SelectArm(context, &rng);
+          break;
+        case Policy::kEpsilonGreedy:
+          arm = epsilon_greedy.SelectArm(&rng);
+          break;
+        case Policy::kRoundRobin:
+          arm = round % d;
+          break;
+        case Policy::kOracle: {
+          double best = 1e9;
+          for (int a = 0; a < d; ++a) {
+            const double difficulty = model.EditDifficulty(a, target);
+            if (difficulty < best) {
+              best = difficulty;
+              arm = a;
+            }
+          }
+          break;
+        }
+      }
+
+      // Build a guide matching the arm-modified combination; retry the
+      // round with another value if the sibling is unpopulated.
+      std::vector<int> guide_values = target;
+      const auto& attribute = schema.attribute(arm);
+      if (attribute.ordinal) {
+        guide_values[arm] = target[arm] > 0 ? target[arm] - 1
+                                            : target[arm] + 1;
+      } else {
+        guide_values[arm] = (target[arm] + 1) % attribute.cardinality();
+      }
+      const auto members =
+          corpus->dataset.IndicesMatching(data::Pattern(guide_values));
+      if (members.empty()) continue;
+      const auto& guide_tuple =
+          corpus->dataset.tuple(members[rng.NextBounded(members.size())]);
+      const image::Image& guide = corpus->images[guide_tuple.payload_id];
+      const image::Image mask =
+          image::GenerateMask(guide, image::MaskLevel::kModerate);
+
+      fm::GenerationRequest request;
+      request.target_values = target;
+      request.guide = &guide;
+      request.guide_values = &guide_values;
+      request.mask = &mask;
+      auto result = model.Generate(request, &rng);
+      if (!result.ok()) continue;
+      const core::RejectionOutcome outcome = sampler->Evaluate(
+          embedder.Embed(result->image), result->latent_realism, &rng);
+      passes += outcome.Passed();
+      quality_passes += outcome.quality_pass;
+
+      const double reward = outcome.Passed() ? 1.0 : 0.0;
+      (void)linucb.Update(arm, context, reward);
+      epsilon_greedy.Update(arm, reward);
+    }
+
+    table.AddRow({PolicyName(policy), util::Fmt(kRounds),
+                  util::Fmt(passes),
+                  util::Fmt(static_cast<double>(passes) / kRounds),
+                  util::Fmt(static_cast<double>(quality_passes) / kRounds)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected: LinUCB beats round-robin and epsilon-greedy — and even\n"
+      "the quality oracle, because the reward it learns from is the JOINT\n"
+      "pass (quality AND distribution), while the oracle only minimizes\n"
+      "the hidden quality difficulty.\n");
+  return 0;
+}

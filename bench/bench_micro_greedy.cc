@@ -1,0 +1,70 @@
+// Micro-benchmarks for the combination-selection algorithms (§4) as the
+// MUP count grows.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/combination_selection.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace chameleon;
+
+data::AttributeSchema MakeSchema() {
+  data::AttributeSchema schema;
+  (void)schema.AddAttribute({"a", {"0", "1"}, false});
+  (void)schema.AddAttribute({"b", {"0", "1", "2", "3", "4"}, false});
+  (void)schema.AddAttribute(
+      {"c", {"0", "1", "2", "3", "4", "5", "6", "7", "8"}, true});
+  return schema;
+}
+
+std::vector<coverage::Mup> MakeMups(const data::AttributeSchema& schema,
+                                    int count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<coverage::Mup> mups;
+  for (int i = 0; i < count; ++i) {
+    data::Pattern p(schema.num_attributes());
+    // Random level-2 patterns with random gaps.
+    const int first = static_cast<int>(rng.NextBounded(3));
+    const int second = (first + 1 + static_cast<int>(rng.NextBounded(2))) % 3;
+    p = p.WithCell(first,
+                   static_cast<int>(rng.NextBounded(
+                       schema.attribute(first).cardinality())));
+    p = p.WithCell(second,
+                   static_cast<int>(rng.NextBounded(
+                       schema.attribute(second).cardinality())));
+    mups.push_back(coverage::Mup{p, 0, rng.NextInt(5, 200)});
+  }
+  return mups;
+}
+
+void BM_GreedySelect(benchmark::State& state) {
+  const auto schema = MakeSchema();
+  const auto mups = MakeMups(schema, static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::GreedySelect(schema, mups));
+  }
+}
+BENCHMARK(BM_GreedySelect)->Range(4, 64);
+
+void BM_MinGapSelect(benchmark::State& state) {
+  const auto schema = MakeSchema();
+  const auto mups = MakeMups(schema, static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MinGapSelect(schema, mups, 2));
+  }
+}
+BENCHMARK(BM_MinGapSelect)->Range(4, 64);
+
+void BM_RandomSelect(benchmark::State& state) {
+  const auto schema = MakeSchema();
+  const auto mups = MakeMups(schema, static_cast<int>(state.range(0)), 9);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RandomSelect(schema, mups, 2, &rng));
+  }
+}
+BENCHMARK(BM_RandomSelect)->Range(4, 64);
+
+}  // namespace

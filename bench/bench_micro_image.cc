@@ -1,0 +1,80 @@
+// Micro-benchmarks for the image substrate: face rendering, foreground
+// extraction, mask generation at each delineation level, and embedding.
+
+#include <benchmark/benchmark.h>
+
+#include "src/embedding/simulated_embedder.h"
+#include "src/image/face_renderer.h"
+#include "src/image/mask_generator.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace chameleon;
+
+image::Image MakeFace(int size, uint64_t seed) {
+  util::Rng rng(seed);
+  const image::FaceStyle style = image::MakeFaceStyle(1, 5, true, 0.3, &rng);
+  image::SceneStyle scene;
+  image::RenderOptions options;
+  options.size = size;
+  return image::RenderFace(style, scene, options, &rng);
+}
+
+void BM_RenderFace(benchmark::State& state) {
+  util::Rng rng(1);
+  const image::FaceStyle style = image::MakeFaceStyle(0, 5, false, 0.5, &rng);
+  image::SceneStyle scene;
+  image::RenderOptions options;
+  options.size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(image::RenderFace(style, scene, options, &rng));
+  }
+}
+BENCHMARK(BM_RenderFace)->Range(32, 256);
+
+void BM_ExtractForeground(benchmark::State& state) {
+  const image::Image face = MakeFace(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(image::ExtractForeground(face));
+  }
+}
+BENCHMARK(BM_ExtractForeground)->Range(32, 256);
+
+void BM_MaskAccurate(benchmark::State& state) {
+  const image::Image face = MakeFace(64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        image::GenerateMask(face, image::MaskLevel::kAccurate));
+  }
+}
+BENCHMARK(BM_MaskAccurate);
+
+void BM_MaskModerate(benchmark::State& state) {
+  const image::Image face = MakeFace(64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        image::GenerateMask(face, image::MaskLevel::kModerate));
+  }
+}
+BENCHMARK(BM_MaskModerate);
+
+void BM_MaskImprecise(benchmark::State& state) {
+  const image::Image face = MakeFace(64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        image::GenerateMask(face, image::MaskLevel::kImprecise));
+  }
+}
+BENCHMARK(BM_MaskImprecise);
+
+void BM_Embed(benchmark::State& state) {
+  const embedding::SimulatedEmbedder embedder;
+  const image::Image face = MakeFace(64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.Embed(face));
+  }
+}
+BENCHMARK(BM_Embed);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Micro-benchmarks for the no-reference IQA pipeline (Table 5's tools):
+// MSCN transform, feature extraction and scoring throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "src/image/face_renderer.h"
+#include "src/iqa/brisque.h"
+#include "src/iqa/mscn.h"
+#include "src/iqa/niqe.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace chameleon;
+
+image::Image MakeFace(int size, uint64_t seed) {
+  util::Rng rng(seed);
+  const image::FaceStyle style = image::MakeFaceStyle(2, 5, false, 0.4, &rng);
+  image::SceneStyle scene;
+  image::RenderOptions options;
+  options.size = size;
+  return image::RenderFace(style, scene, options, &rng);
+}
+
+void BM_Mscn(benchmark::State& state) {
+  const image::Image face =
+      MakeFace(static_cast<int>(state.range(0)), 1).ToGrayscale();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iqa::ComputeMscn(face));
+  }
+}
+BENCHMARK(BM_Mscn)->Range(32, 256);
+
+void BM_BrisqueFeatures(benchmark::State& state) {
+  const image::Image face = MakeFace(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iqa::BrisqueFeatures(face));
+  }
+}
+BENCHMARK(BM_BrisqueFeatures)->Range(32, 256);
+
+void BM_NiqeScore(benchmark::State& state) {
+  std::vector<image::Image> corpus;
+  for (int i = 0; i < 16; ++i) corpus.push_back(MakeFace(64, i));
+  auto niqe = iqa::Niqe::Train(corpus);
+  const image::Image face = MakeFace(64, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(niqe->Score(face));
+  }
+}
+BENCHMARK(BM_NiqeScore);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Micro-benchmarks for LinUCB (§5.3): arm selection and the update path.
+// The ablation contrasts the library's Sherman-Morrison O(k^2) inverse
+// maintenance against recomputing A^{-1} from scratch per update.
+
+#include <benchmark/benchmark.h>
+
+#include "src/bandit/linucb.h"
+#include "src/linalg/matrix.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace chameleon;
+
+void BM_SelectArm(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  bandit::LinUcb bandit(3, k, 0.5);
+  util::Rng rng(3);
+  // Warm it up with some pulls.
+  for (int i = 0; i < 50; ++i) {
+    const auto context =
+        bandit::LinUcb::OneHotContext(k, rng.NextBounded(k));
+    const int arm = bandit.SelectArm(context, &rng);
+    (void)bandit.Update(arm, context, rng.NextBernoulli(0.5));
+  }
+  const auto context = bandit::LinUcb::OneHotContext(k, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bandit.SelectArm(context, &rng));
+  }
+}
+BENCHMARK(BM_SelectArm)->Range(16, 256);
+
+void BM_UpdateShermanMorrison(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  bandit::LinUcb bandit(3, k, 0.5);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto context =
+        bandit::LinUcb::OneHotContext(k, rng.NextBounded(k));
+    benchmark::DoNotOptimize(bandit.Update(0, context, 1.0));
+  }
+}
+BENCHMARK(BM_UpdateShermanMorrison)->Range(16, 256);
+
+// Baseline ablation: maintain A explicitly and refactorize per update.
+void BM_UpdateRefactorize(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  linalg::Matrix a = linalg::Matrix::Identity(k);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto context =
+        bandit::LinUcb::OneHotContext(k, rng.NextBounded(k));
+    a.AddOuter(1.0, context, context);
+    benchmark::DoNotOptimize(a.Inverse());
+  }
+}
+BENCHMARK(BM_UpdateRefactorize)->Range(16, 256);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Micro-benchmarks for the one-class SVM (§3.1): SMO training and
+// decision-function evaluation under both Table 4 kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "src/svm/one_class_svm.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace chameleon;
+
+std::vector<std::vector<double>> MakeCluster(int n, int dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  for (auto& p : points) {
+    for (double& v : p) v = rng.NextGaussian(0.5, 0.2);
+  }
+  return points;
+}
+
+void BM_TrainRbf(benchmark::State& state) {
+  const auto points = MakeCluster(static_cast<int>(state.range(0)), 32, 5);
+  svm::OneClassSvmOptions options;
+  options.nu = 0.3;
+  options.kernel = svm::Kernel::Rbf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm::OneClassSvm::Train(points, options));
+  }
+}
+BENCHMARK(BM_TrainRbf)->Range(64, 2048);
+
+void BM_TrainLinear(benchmark::State& state) {
+  const auto points = MakeCluster(static_cast<int>(state.range(0)), 32, 5);
+  svm::OneClassSvmOptions options;
+  options.nu = 0.3;
+  options.kernel = svm::Kernel::Linear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm::OneClassSvm::Train(points, options));
+  }
+}
+BENCHMARK(BM_TrainLinear)->Range(64, 2048);
+
+void BM_DecisionValue(benchmark::State& state) {
+  const auto points = MakeCluster(static_cast<int>(state.range(0)), 32, 5);
+  svm::OneClassSvmOptions options;
+  options.nu = 0.3;
+  auto model = svm::OneClassSvm::Train(points, options);
+  const auto query = MakeCluster(1, 32, 77)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->DecisionValue(query));
+  }
+}
+BENCHMARK(BM_DecisionValue)->Range(64, 2048);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Reproduces Table 2: the demographic group distribution of the FERET
+// training corpus. The synthetic corpus is built to exactly the paper's
+// counts; this bench prints the realized counts and checks them against
+// the published numbers.
+
+#include <cstdio>
+
+#include "src/data/pattern.h"
+#include "src/datasets/feret.h"
+#include "src/embedding/simulated_embedder.h"
+#include "src/util/table_printer.h"
+
+using namespace chameleon;  // Bench binary; brevity over hygiene.
+
+int main() {
+  std::printf("=== Table 2: demographic groups distribution in FERETDB ===\n");
+  const embedding::SimulatedEmbedder embedder;
+  datasets::FeretOptions options;
+  options.render.render_images = false;  // counts only
+  auto corpus = datasets::MakeFeret(&embedder, options);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  const auto& schema = corpus->dataset.schema();
+
+  // Paper values for the check column.
+  const int64_t paper[5][3] = {{331, 229, 560},
+                               {21, 19, 40},
+                               {80, 47, 127},
+                               {11, 8, 19},
+                               {9, 1, 10}};
+
+  util::TablePrinter table(
+      {"Ethnicity", "Male", "Female", "Total", "Paper", "Match"});
+  int64_t total_male = 0;
+  int64_t total_female = 0;
+  bool all_match = true;
+  for (int e = 0; e < 5; ++e) {
+    data::Pattern male({0, e});
+    data::Pattern female({1, e});
+    const int64_t m = corpus->dataset.CountMatching(male);
+    const int64_t f = corpus->dataset.CountMatching(female);
+    total_male += m;
+    total_female += f;
+    const bool match =
+        m == paper[e][0] && f == paper[e][1] && m + f == paper[e][2];
+    all_match = all_match && match;
+    table.AddRow({schema.attribute(1).values[e], util::Fmt(m), util::Fmt(f),
+                  util::Fmt(m + f), util::Fmt(paper[e][2]),
+                  match ? "yes" : "NO"});
+  }
+  table.AddRow({"Total", util::Fmt(total_male), util::Fmt(total_female),
+                util::Fmt(total_male + total_female), "756",
+                total_male + total_female == 756 ? "yes" : "NO"});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("paper counts reproduced: %s\n", all_match ? "yes" : "NO");
+  return all_match ? 0 : 1;
+}

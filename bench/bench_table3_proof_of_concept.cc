@@ -1,0 +1,110 @@
+// Reproduces Table 3 and the §6.3 proof of concept: a race-predicting
+// classifier is trained on the FERET corpus before and after repairing
+// the three uncovered ethnicity groups (Black, Hispanic, Middle Eastern)
+// with Chameleon at tau = 100, and evaluated on the same all-real test
+// set. Also prints the repair-run statistics the paper reports in-text
+// (307 queries, 75% pass rate, $4.91 cost for the authors' run).
+
+#include <cstdio>
+
+#include "bench/experiment_common.h"
+#include "src/core/chameleon.h"
+#include "src/embedding/simulated_embedder.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/util/table_printer.h"
+
+using namespace chameleon;
+
+namespace {
+
+constexpr uint64_t kSeed = 99;
+
+void AddReportRows(util::TablePrinter* table, const char* dataset_label,
+                   const fm::Corpus& corpus,
+                   const nn::ClassificationReport& report) {
+  const auto& schema = corpus.dataset.schema();
+  auto group_count = [&](int e) {
+    return corpus.dataset.CountMatching(data::Pattern(
+        {data::Pattern::kUnspecified, e}));
+  };
+  table->AddRow({dataset_label, "Overall",
+                 util::Fmt(static_cast<int64_t>(corpus.dataset.size())),
+                 util::Fmt(report.WeightedPrecision()),
+                 util::Fmt(report.WeightedRecall()),
+                 util::Fmt(report.WeightedF1())});
+  for (int e : {datasets::kFeretBlack, datasets::kFeretHispanic,
+                datasets::kFeretMiddleEastern}) {
+    const auto& m = report.class_metrics(e);
+    table->AddRow({dataset_label, schema.attribute(1).values[e],
+                   util::Fmt(group_count(e)), util::Fmt(m.Precision()),
+                   util::Fmt(m.Recall()), util::Fmt(m.F1())});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 3: repairing lack of coverage on FERETDB (tau=100, "
+      "seed=%llu) ===\n",
+      static_cast<unsigned long long>(kSeed));
+
+  const embedding::SimulatedEmbedder embedder;
+  datasets::FeretOptions feret_options;
+  auto corpus = datasets::MakeFeret(&embedder, feret_options);
+  auto test = datasets::MakeFeretTestSet(&embedder, feret_options);
+  if (!corpus.ok() || !test.ok()) {
+    std::fprintf(stderr, "corpus construction failed\n");
+    return 1;
+  }
+
+  util::TablePrinter table(
+      {"Train set", "Group", "#Images", "Precision", "Recall", "F1"});
+
+  const auto before =
+      bench::TrainAndEvaluateEthnicityClassifier(*corpus, *test);
+  AddReportRows(&table, "FERETDB", *corpus, before);
+
+  // Repair with Greedy selection + LinUCB guides + Moderate masks — the
+  // configuration §6.3 names.
+  fm::SimulatedFoundationModel::Options fm_options;
+  fm::SimulatedFoundationModel model(corpus->dataset.schema(),
+                                     datasets::FeretFaceStyleFn(),
+                                     datasets::FeretScene(), fm_options);
+  const fm::EvaluatorPool evaluators(2024);
+  core::ChameleonOptions options;
+  options.tau = 100;
+  options.selection = core::SelectionAlgorithm::kGreedy;
+  options.guide_strategy = core::GuideStrategy::kLinUcb;
+  options.mask_level = image::MaskLevel::kModerate;
+  options.seed = kSeed;
+  core::Chameleon system(&model, &embedder, &evaluators, options);
+  auto repair = system.RepairMinLevelMups(&*corpus);
+  if (!repair.ok()) {
+    std::fprintf(stderr, "repair failed: %s\n",
+                 repair.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto after =
+      bench::TrainAndEvaluateEthnicityClassifier(*corpus, *test);
+  AddReportRows(&table, "Repaired", *corpus, after);
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\n--- repair run (paper: 307 queries, 231 accepted = 75%%, $4.91) "
+      "---\n");
+  std::printf("queries issued:        %lld\n",
+              static_cast<long long>(repair->queries));
+  std::printf("accepted:              %lld (%.0f%%)\n",
+              static_cast<long long>(repair->accepted),
+              100.0 * repair->AcceptanceRate());
+  std::printf("estimated p:           %.2f (paper: 0.86)\n",
+              repair->estimated_p);
+  std::printf("cost at $%.3f/image:   $%.2f\n", model.query_cost(),
+              repair->total_cost);
+  std::printf("level-1 MUPs resolved: %s\n",
+              repair->fully_resolved ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef CHAMELEON_BENCH_EXPERIMENT_COMMON_H_
+#define CHAMELEON_BENCH_EXPERIMENT_COMMON_H_
+
+// Shared helpers for the experiment harnesses that regenerate the paper's
+// tables and figures. Each bench binary is standalone; this header keeps
+// the FERET proof-of-concept plumbing (classifier training/evaluation)
+// in one place for Table 3 and Figure 4.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/datasets/feret.h"
+#include "src/fm/corpus.h"
+#include "src/nn/metrics.h"
+#include "src/nn/mlp.h"
+#include "src/nn/trainer.h"
+#include "src/util/rng.h"
+
+namespace chameleon::bench {
+
+/// Training hyper-parameters for the race-predicting classifier (the
+/// paper's Keras CNN stand-in). Chosen for stable convergence on the
+/// 756-tuple FERET corpus.
+inline nn::TrainOptions ClassifierTrainOptions() {
+  nn::TrainOptions options;
+  options.epochs = 250;
+  options.learning_rate = 0.02;
+  options.batch_size = 32;
+  return options;
+}
+
+/// Trains an ethnicity classifier on `train` and evaluates on `test`.
+/// The label is the FERET ethnicity attribute.
+inline nn::ClassificationReport TrainAndEvaluateEthnicityClassifier(
+    const fm::Corpus& train, const fm::Corpus& test, uint64_t seed = 33) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> inputs;
+  std::vector<int> labels;
+  for (const auto& t : train.dataset.tuples()) {
+    inputs.push_back(t.embedding);
+    labels.push_back(t.values[datasets::kFeretEthnicity]);
+  }
+  const int num_classes =
+      train.dataset.schema().attribute(datasets::kFeretEthnicity).cardinality();
+  nn::Mlp model({static_cast<int>(inputs[0].size()), 32, num_classes}, &rng);
+  auto report =
+      nn::TrainClassifier(&model, inputs, labels, ClassifierTrainOptions(),
+                          &rng);
+  if (!report.ok()) {
+    std::fprintf(stderr, "classifier training failed: %s\n",
+                 report.status().ToString().c_str());
+  }
+  std::vector<int> gold;
+  std::vector<int> predicted;
+  for (const auto& t : test.dataset.tuples()) {
+    gold.push_back(t.values[datasets::kFeretEthnicity]);
+    predicted.push_back(model.Predict(t.embedding));
+  }
+  return nn::ClassificationReport(gold, predicted, num_classes);
+}
+
+}  // namespace chameleon::bench
+
+#endif  // CHAMELEON_BENCH_EXPERIMENT_COMMON_H_

@@ -1,0 +1,40 @@
+#include "src/bandit/epsilon_greedy.h"
+
+namespace chameleon::bandit {
+
+EpsilonGreedy::EpsilonGreedy(int num_arms, double epsilon)
+    : num_arms_(num_arms),
+      epsilon_(epsilon),
+      reward_sums_(num_arms, 0.0),
+      pulls_(num_arms, 0) {}
+
+int EpsilonGreedy::SelectArm(util::Rng* rng) {
+  for (int a = 0; a < num_arms_; ++a) {
+    if (pulls_[a] == 0) return a;
+  }
+  if (rng->NextBernoulli(epsilon_)) {
+    return static_cast<int>(rng->NextBounded(num_arms_));
+  }
+  int best = 0;
+  double best_mean = MeanReward(0);
+  for (int a = 1; a < num_arms_; ++a) {
+    const double mean = MeanReward(a);
+    if (mean > best_mean) {
+      best = a;
+      best_mean = mean;
+    }
+  }
+  return best;
+}
+
+void EpsilonGreedy::Update(int arm, double reward) {
+  reward_sums_[arm] += reward;
+  ++pulls_[arm];
+}
+
+double EpsilonGreedy::MeanReward(int arm) const {
+  if (pulls_[arm] == 0) return 0.0;
+  return reward_sums_[arm] / static_cast<double>(pulls_[arm]);
+}
+
+}  // namespace chameleon::bandit

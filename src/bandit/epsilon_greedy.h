@@ -1,0 +1,38 @@
+#ifndef CHAMELEON_BANDIT_EPSILON_GREEDY_H_
+#define CHAMELEON_BANDIT_EPSILON_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace chameleon::bandit {
+
+/// Context-free epsilon-greedy bandit: a baseline for LinUCB in the guide
+/// selection ablation. With probability epsilon explores a uniform arm,
+/// otherwise exploits the best empirical mean.
+class EpsilonGreedy {
+ public:
+  EpsilonGreedy(int num_arms, double epsilon);
+
+  int num_arms() const { return num_arms_; }
+
+  /// Selects an arm. Unpulled arms are tried first (round-robin).
+  int SelectArm(util::Rng* rng);
+
+  /// Observes a reward for an arm.
+  void Update(int arm, double reward);
+
+  double MeanReward(int arm) const;
+  int64_t pull_count(int arm) const { return pulls_[arm]; }
+
+ private:
+  int num_arms_;
+  double epsilon_;
+  std::vector<double> reward_sums_;
+  std::vector<int64_t> pulls_;
+};
+
+}  // namespace chameleon::bandit
+
+#endif  // CHAMELEON_BANDIT_EPSILON_GREEDY_H_

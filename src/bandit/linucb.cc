@@ -1,0 +1,86 @@
+#include "src/bandit/linucb.h"
+
+#include <cmath>
+
+#include "src/linalg/vector_ops.h"
+
+namespace chameleon::bandit {
+
+LinUcb::LinUcb(int num_arms, int context_dim, double alpha)
+    : num_arms_(num_arms),
+      context_dim_(context_dim),
+      alpha_(alpha),
+      pulls_(num_arms, 0) {
+  a_inverse_.reserve(num_arms);
+  b_.reserve(num_arms);
+  for (int a = 0; a < num_arms; ++a) {
+    a_inverse_.push_back(linalg::Matrix::Identity(context_dim));
+    b_.emplace_back(context_dim, 0.0);
+  }
+}
+
+double LinUcb::EstimatedReward(int arm,
+                               const std::vector<double>& context) const {
+  // theta = A^{-1} b; estimate = f^T theta.
+  const std::vector<double> theta = a_inverse_[arm].Multiply(b_[arm]);
+  return linalg::Dot(context, theta);
+}
+
+double LinUcb::UpperConfidenceBound(
+    int arm, const std::vector<double>& context) const {
+  const std::vector<double> ainv_f = a_inverse_[arm].Multiply(context);
+  const double exploration = std::sqrt(
+      std::max(0.0, linalg::Dot(context, ainv_f)));
+  return EstimatedReward(arm, context) + alpha_ * exploration;
+}
+
+int LinUcb::SelectArm(const std::vector<double>& context,
+                      util::Rng* rng) const {
+  int best = 0;
+  double best_score = UpperConfidenceBound(0, context);
+  int ties = 1;
+  for (int a = 1; a < num_arms_; ++a) {
+    const double score = UpperConfidenceBound(a, context);
+    if (score > best_score + 1e-12) {
+      best = a;
+      best_score = score;
+      ties = 1;
+    } else if (std::fabs(score - best_score) <= 1e-12) {
+      ++ties;
+      // Reservoir-style uniform tie break.
+      if (rng != nullptr && rng->NextBounded(ties) == 0) best = a;
+    }
+  }
+  return best;
+}
+
+util::Status LinUcb::Update(int arm, const std::vector<double>& context,
+                            double reward) {
+  if (arm < 0 || arm >= num_arms_) {
+    return util::Status::InvalidArgument("arm index out of range");
+  }
+  if (static_cast<int>(context.size()) != context_dim_) {
+    return util::Status::InvalidArgument("context dimension mismatch");
+  }
+  // A += f f^T via Sherman-Morrison on the inverse. The update is always
+  // well-conditioned because A is SPD and f f^T is PSD.
+  CHAMELEON_RETURN_NOT_OK(
+      linalg::ShermanMorrisonUpdate(&a_inverse_[arm], context, context));
+  linalg::AddScaled(&b_[arm], reward, context);
+  ++pulls_[arm];
+  return util::Status::Ok();
+}
+
+int64_t LinUcb::total_pulls() const {
+  int64_t total = 0;
+  for (int64_t p : pulls_) total += p;
+  return total;
+}
+
+std::vector<double> LinUcb::OneHotContext(int context_dim, int64_t index) {
+  std::vector<double> context(context_dim, 0.0);
+  if (index >= 0 && index < context_dim) context[index] = 1.0;
+  return context;
+}
+
+}  // namespace chameleon::bandit

@@ -1,0 +1,159 @@
+#include "src/core/chameleon.h"
+
+#include <utility>
+
+#include "src/coverage/pattern_counter.h"
+
+namespace chameleon::core {
+
+Chameleon::Chameleon(fm::FoundationModel* model,
+                     const embedding::Embedder* embedder,
+                     const fm::EvaluatorPool* evaluators,
+                     const ChameleonOptions& options)
+    : model_(model),
+      embedder_(embedder),
+      evaluators_(evaluators),
+      options_(options) {}
+
+util::Result<int64_t> Chameleon::GenerateAccepted(
+    fm::Corpus* corpus, const std::vector<int>& target, int64_t count,
+    GuideSelector* selector, const RejectionSampler& sampler,
+    RepairReport* report, util::Rng* rng) {
+  const data::AttributeSchema& schema = corpus->dataset.schema();
+  int64_t accepted_here = 0;
+  int64_t attempts = 0;
+  const int64_t attempt_cap = options_.max_attempts_per_tuple * count;
+
+  while (accepted_here < count && attempts < attempt_cap &&
+         report->queries < options_.max_queries) {
+    ++attempts;
+
+    auto choice = selector->Select(corpus->dataset, target, rng);
+    if (!choice.ok()) return choice.status();
+
+    fm::GenerationRequest request;
+    request.target_values = target;
+    request.prompt = fm::BuildPrompt(schema, target);
+    image::Image mask;
+    if (choice->has_guide) {
+      const data::Tuple& guide_tuple = corpus->dataset.tuple(
+          choice->tuple_index);
+      if (guide_tuple.payload_id < 0) {
+        return util::Status::FailedPrecondition(
+            "guide tuple has no image payload");
+      }
+      const image::Image& guide_image =
+          corpus->images[guide_tuple.payload_id];
+      mask = image::GenerateMask(guide_image, options_.mask_level);
+      request.guide = &guide_image;
+      request.guide_values = &choice->guide_values;
+      request.mask = &mask;
+    }
+
+    auto generation = model_->Generate(request, rng);
+    if (!generation.ok()) return generation.status();
+    ++report->queries;
+
+    const std::vector<double> embedding =
+        embedder_->Embed(generation->image);
+    const RejectionOutcome outcome =
+        sampler.Evaluate(embedding, generation->latent_realism, rng);
+
+    report->distribution_passes += outcome.distribution_pass;
+    report->quality_passes += outcome.quality_pass;
+    selector->ReportReward(target, *choice, outcome.Passed());
+
+    GenerationRecord record;
+    record.target_values = target;
+    record.embedding = embedding;
+    record.latent_realism = generation->latent_realism;
+    record.distribution_pass = outcome.distribution_pass;
+    record.quality_pass = outcome.quality_pass;
+    record.quality_p_value = outcome.quality_p_value;
+    record.decision_value = outcome.decision_value;
+    record.arm = choice->arm;
+    record.accepted = outcome.Passed();
+    report->records.push_back(std::move(record));
+
+    if (!outcome.Passed()) continue;
+
+    data::Tuple tuple;
+    tuple.values = target;
+    tuple.embedding = embedding;
+    tuple.synthetic = true;
+    CHAMELEON_RETURN_NOT_OK(corpus->Add(std::move(tuple),
+                                        std::move(generation->image),
+                                        generation->latent_realism));
+    ++report->accepted;
+    ++accepted_here;
+  }
+  return accepted_here;
+}
+
+util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
+  RepairReport report;
+  util::Rng rng(options_.seed);
+  const data::AttributeSchema& schema = corpus->dataset.schema();
+
+  // 1. Detect the minimum-level MUPs.
+  const coverage::PatternCounter counter =
+      coverage::PatternCounter::FromDataset(corpus->dataset);
+  coverage::MupFinder finder(schema, counter);
+  coverage::MupFinderOptions mup_options;
+  mup_options.tau = options_.tau;
+  const std::vector<coverage::Mup> all_mups = finder.FindMups(mup_options);
+  report.initial_mups = coverage::MupFinder::MinLevel(all_mups);
+  if (report.initial_mups.empty()) {
+    report.fully_resolved = true;
+    return report;
+  }
+  const int target_level = report.initial_mups[0].Level();
+
+  // 2. Plan the augmentation.
+  switch (options_.selection) {
+    case SelectionAlgorithm::kGreedy:
+      report.plan = GreedySelect(schema, report.initial_mups);
+      break;
+    case SelectionAlgorithm::kRandom:
+      report.plan = RandomSelect(schema, all_mups, target_level, &rng);
+      break;
+    case SelectionAlgorithm::kMinGap:
+      report.plan = MinGapSelect(schema, all_mups, target_level);
+      break;
+  }
+
+  // 3. Calibrate p and train the distribution test on real tuples.
+  report.estimated_p = evaluators_->EstimateRealLabelRate(
+      corpus->RealTupleRealism(), options_.p_estimation_samples, &rng);
+  if (report.estimated_p <= 0.0) {
+    return util::Status::FailedPrecondition(
+        "could not estimate p: corpus has no real tuples with payloads");
+  }
+  std::vector<std::vector<double>> real_embeddings;
+  for (const auto& t : corpus->dataset.tuples()) {
+    if (!t.synthetic && !t.embedding.empty()) {
+      real_embeddings.push_back(t.embedding);
+    }
+  }
+  auto sampler = RejectionSampler::Train(real_embeddings, evaluators_,
+                                         report.estimated_p,
+                                         options_.rejection);
+  if (!sampler.ok()) return sampler.status();
+
+  // 4. Fulfil the plan.
+  auto selector = MakeGuideSelector(options_.guide_strategy, schema,
+                                    options_.linucb_alpha);
+  bool all_filled = true;
+  for (const auto& entry : report.plan) {
+    auto accepted = GenerateAccepted(corpus, entry.values, entry.count,
+                                     selector.get(), *sampler, &report, &rng);
+    if (!accepted.ok()) return accepted.status();
+    if (*accepted < entry.count) all_filled = false;
+  }
+  report.fully_resolved = all_filled;
+  report.total_cost = static_cast<double>(report.queries) *
+                      model_->query_cost();
+  return report;
+}
+
+}  // namespace chameleon::core

@@ -1,0 +1,126 @@
+#ifndef CHAMELEON_CORE_CHAMELEON_H_
+#define CHAMELEON_CORE_CHAMELEON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/combination_selection.h"
+#include "src/core/guide_selection.h"
+#include "src/core/rejection_sampler.h"
+#include "src/coverage/mup_finder.h"
+#include "src/embedding/embedder.h"
+#include "src/fm/corpus.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/foundation_model.h"
+#include "src/image/mask_generator.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace chameleon::core {
+
+/// End-to-end configuration of a repair run (Figure 1's pipeline).
+struct ChameleonOptions {
+  /// Coverage threshold tau.
+  int64_t tau = 100;
+  /// Combination selection (§4). The baselines exist for Figure 6; real
+  /// repairs should use Greedy.
+  SelectionAlgorithm selection = SelectionAlgorithm::kGreedy;
+  /// Guide selection (§5).
+  GuideStrategy guide_strategy = GuideStrategy::kLinUcb;
+  double linucb_alpha = 0.5;
+  /// Mask delineation (§5.4).
+  image::MaskLevel mask_level = image::MaskLevel::kModerate;
+  /// Rejection sampling (§3).
+  RejectionSamplerOptions rejection;
+  /// Samples used to estimate p from real tuples before repairing.
+  int p_estimation_samples = 500;
+  /// Safety caps: total foundation-model queries, and consecutive
+  /// rejections per plan entry before giving up on it.
+  int64_t max_queries = 50000;
+  int64_t max_attempts_per_tuple = 40;
+  uint64_t seed = 99;
+};
+
+/// One generated tuple's audit record: everything the benchmarks need to
+/// recompute acceptance rates (e.g. re-scoring DDT under another kernel).
+struct GenerationRecord {
+  std::vector<int> target_values;
+  std::vector<double> embedding;
+  double latent_realism = 0.0;
+  bool distribution_pass = false;
+  bool quality_pass = false;
+  /// Lower-tail p-value of the quality t-test: QTAR at any significance
+  /// level alpha is the fraction of records with p_value >= alpha.
+  double quality_p_value = 1.0;
+  /// OCSVM decision value under the gating kernel.
+  double decision_value = 0.0;
+  int arm = -1;
+  bool accepted = false;
+};
+
+/// Summary of a repair run.
+struct RepairReport {
+  /// MUPs at the minimum level before repair, with gaps.
+  std::vector<coverage::Mup> initial_mups;
+  /// The sigma plan produced by combination selection.
+  CombinationPlan plan;
+  /// p as estimated from the corpus's real tuples.
+  double estimated_p = 0.0;
+
+  int64_t queries = 0;
+  int64_t accepted = 0;
+  int64_t distribution_passes = 0;  // independent of the quality outcome
+  int64_t quality_passes = 0;       // independent of the distribution outcome
+  double total_cost = 0.0;
+  bool fully_resolved = false;
+
+  std::vector<GenerationRecord> records;
+
+  double AcceptanceRate() const {
+    return queries > 0 ? static_cast<double>(accepted) / queries : 0.0;
+  }
+  double QualityAcceptanceRate() const {
+    return queries > 0 ? static_cast<double>(quality_passes) / queries : 0.0;
+  }
+  double DistributionAcceptanceRate() const {
+    return queries > 0 ? static_cast<double>(distribution_passes) / queries
+                       : 0.0;
+  }
+};
+
+/// The Chameleon system facade: detects the minimum-level MUPs of a
+/// corpus, plans the minimal augmentation, and drives the foundation
+/// model + rejection sampling loop until the plan is fulfilled, appending
+/// accepted synthetic tuples to the corpus.
+class Chameleon {
+ public:
+  Chameleon(fm::FoundationModel* model, const embedding::Embedder* embedder,
+            const fm::EvaluatorPool* evaluators,
+            const ChameleonOptions& options);
+
+  /// One repair round: resolves the MUPs at the smallest level. Call
+  /// repeatedly to work down the lattice (§4's iterative approach).
+  util::Result<RepairReport> RepairMinLevelMups(fm::Corpus* corpus);
+
+  /// Generates until `count` accepted tuples of `target` are added to
+  /// the corpus (or the caps trip). Exposed for benches that sweep guide
+  /// strategies over a fixed plan. Returns the number accepted.
+  util::Result<int64_t> GenerateAccepted(fm::Corpus* corpus,
+                                         const std::vector<int>& target,
+                                         int64_t count,
+                                         GuideSelector* selector,
+                                         const RejectionSampler& sampler,
+                                         RepairReport* report, util::Rng* rng);
+
+  const ChameleonOptions& options() const { return options_; }
+
+ private:
+  fm::FoundationModel* model_;
+  const embedding::Embedder* embedder_;
+  const fm::EvaluatorPool* evaluators_;
+  ChameleonOptions options_;
+};
+
+}  // namespace chameleon::core
+
+#endif  // CHAMELEON_CORE_CHAMELEON_H_

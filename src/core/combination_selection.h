@@ -1,0 +1,59 @@
+#ifndef CHAMELEON_CORE_COMBINATION_SELECTION_H_
+#define CHAMELEON_CORE_COMBINATION_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coverage/mup_finder.h"
+#include "src/data/schema.h"
+#include "src/util/rng.h"
+
+namespace chameleon::core {
+
+/// "Generate `count` synthetic tuples matching `values`."
+struct PlanEntry {
+  std::vector<int> values;
+  int64_t count = 0;
+};
+
+/// The output of combination selection: the sigma assignment of §4.
+using CombinationPlan = std::vector<PlanEntry>;
+
+/// Sum of sigma over the plan — the number of foundation-model queries
+/// the plan requires (assuming every generation is accepted).
+int64_t PlanTotal(const CombinationPlan& plan);
+
+/// Combination-selection algorithms evaluated in §6.4.2 (Figure 6).
+enum class SelectionAlgorithm {
+  kGreedy,
+  kRandom,
+  kMinGap,
+};
+
+const char* SelectionAlgorithmName(SelectionAlgorithm algorithm);
+
+/// Algorithm 1 (Greedy): repeatedly pick the combination matching the
+/// most remaining MUPs in `mups` (the smallest-level set M*), add the
+/// minimum matched gap, and update. Guarantees a log(eta) approximation
+/// of the optimal total (Theorem 1).
+CombinationPlan GreedySelect(const data::AttributeSchema& schema,
+                             std::vector<coverage::Mup> mups);
+
+/// Baseline: draw uniform random combinations one tuple at a time until
+/// every MUP at `target_level` in `all_mups` is resolved.
+CombinationPlan RandomSelect(const data::AttributeSchema& schema,
+                             std::vector<coverage::Mup> all_mups,
+                             int target_level, util::Rng* rng);
+
+/// Baseline: repeatedly pick the *unresolved MUP with the smallest gap*
+/// (at any level), satisfy it with gap-many tuples of one matching
+/// combination, and continue until all `target_level` MUPs are resolved.
+/// Deliberately level-blind — the pathology Figure 6 demonstrates.
+CombinationPlan MinGapSelect(const data::AttributeSchema& schema,
+                             std::vector<coverage::Mup> all_mups,
+                             int target_level);
+
+}  // namespace chameleon::core
+
+#endif  // CHAMELEON_CORE_COMBINATION_SELECTION_H_

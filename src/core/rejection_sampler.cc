@@ -1,0 +1,45 @@
+#include "src/core/rejection_sampler.h"
+
+namespace chameleon::core {
+
+util::Result<RejectionSampler> RejectionSampler::Train(
+    const std::vector<std::vector<double>>& real_embeddings,
+    const fm::EvaluatorPool* evaluators, double real_label_rate_p,
+    const RejectionSamplerOptions& options) {
+  if (evaluators == nullptr) {
+    return util::Status::InvalidArgument("evaluator pool is required");
+  }
+  if (real_label_rate_p <= 0.0 || real_label_rate_p > 1.0) {
+    return util::Status::InvalidArgument("p must be in (0, 1]");
+  }
+  auto svm_model = svm::OneClassSvm::Train(real_embeddings, options.svm);
+  if (!svm_model.ok()) return svm_model.status();
+  return RejectionSampler(std::move(*svm_model), evaluators,
+                          real_label_rate_p, options);
+}
+
+bool RejectionSampler::DistributionTest(
+    const std::vector<double>& embedding) const {
+  return svm_.Accepts(embedding);
+}
+
+stats::TTestResult RejectionSampler::QualityTest(double latent_realism,
+                                                 util::Rng* rng) const {
+  const std::vector<int> labels = evaluators_->Evaluate(
+      latent_realism, options_.evaluations_per_tuple, rng);
+  return stats::OneSampleTTestLower(labels, p_);
+}
+
+RejectionOutcome RejectionSampler::Evaluate(
+    const std::vector<double>& embedding, double latent_realism,
+    util::Rng* rng) const {
+  RejectionOutcome outcome;
+  outcome.decision_value = svm_.DecisionValue(embedding);
+  outcome.distribution_pass = outcome.decision_value >= 0.0;
+  const stats::TTestResult t = QualityTest(latent_realism, rng);
+  outcome.quality_p_value = t.p_value;
+  outcome.quality_pass = !t.Rejects(options_.quality_alpha);
+  return outcome;
+}
+
+}  // namespace chameleon::core

@@ -1,0 +1,124 @@
+#include "src/coverage/mup_finder.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace chameleon::coverage {
+
+MupFinder::MupFinder(const data::AttributeSchema& schema,
+                     const PatternCounter& counter)
+    : schema_(&schema), counter_(&counter) {}
+
+std::vector<Mup> MupFinder::FindMups(const MupFinderOptions& options) const {
+  const int d = schema_->num_attributes();
+  const int max_level = options.max_level < 0 ? d : options.max_level;
+  last_count_queries_ = 0;
+
+  std::unordered_map<data::Pattern, int64_t, data::PatternHash> count_cache;
+  auto count_of = [&](const data::Pattern& p) {
+    auto it = count_cache.find(p);
+    if (it != count_cache.end()) return it->second;
+    ++last_count_queries_;
+    const int64_t c = counter_->Count(p);
+    count_cache.emplace(p, c);
+    return c;
+  };
+
+  std::vector<Mup> mups;
+  std::unordered_set<data::Pattern, data::PatternHash> visited;
+  std::deque<data::Pattern> frontier;
+  const data::Pattern root(d);
+  frontier.push_back(root);
+  visited.insert(root);
+
+  while (!frontier.empty()) {
+    const data::Pattern pattern = frontier.front();
+    frontier.pop_front();
+
+    const int64_t count = count_of(pattern);
+    if (count >= options.tau) {
+      // Covered: descend. Children of covered nodes are the only
+      // candidates that can have all parents covered.
+      if (pattern.Level() >= max_level) continue;
+      for (auto& child : pattern.Children(*schema_)) {
+        if (visited.insert(child).second) {
+          frontier.push_back(std::move(child));
+        }
+      }
+      continue;
+    }
+
+    // Uncovered: a MUP iff every parent is covered. (The root has no
+    // parents and is a MUP when itself uncovered.)
+    bool all_parents_covered = true;
+    for (const auto& parent : pattern.Parents()) {
+      if (count_of(parent) < options.tau) {
+        all_parents_covered = false;
+        break;
+      }
+    }
+    if (all_parents_covered) {
+      mups.push_back(Mup{pattern, count, options.tau - count});
+    }
+  }
+
+  std::sort(mups.begin(), mups.end(), [](const Mup& a, const Mup& b) {
+    if (a.Level() != b.Level()) return a.Level() < b.Level();
+    return a.pattern < b.pattern;
+  });
+  return mups;
+}
+
+std::vector<Mup> MupFinder::FindMupsNaive(const MupFinderOptions& options) const {
+  const int d = schema_->num_attributes();
+  const int max_level = options.max_level < 0 ? d : options.max_level;
+
+  // Materialize every pattern level by level.
+  std::vector<data::Pattern> current = {data::Pattern(d)};
+  std::unordered_map<data::Pattern, int64_t, data::PatternHash> counts;
+  counts.emplace(current[0], counter_->Count(current[0]));
+
+  std::vector<Mup> mups;
+  auto consider = [&](const data::Pattern& p) {
+    const int64_t count = counts.at(p);
+    if (count >= options.tau) return;
+    for (const auto& parent : p.Parents()) {
+      if (counts.at(parent) < options.tau) return;
+    }
+    mups.push_back(Mup{p, count, options.tau - count});
+  };
+  consider(current[0]);
+
+  for (int level = 1; level <= max_level; ++level) {
+    std::unordered_set<data::Pattern, data::PatternHash> next_set;
+    for (const auto& p : current) {
+      for (auto& child : p.Children(*schema_)) next_set.insert(std::move(child));
+    }
+    current.assign(next_set.begin(), next_set.end());
+    for (const auto& p : current) {
+      counts.emplace(p, counter_->Count(p));
+    }
+    for (const auto& p : current) consider(p);
+  }
+
+  std::sort(mups.begin(), mups.end(), [](const Mup& a, const Mup& b) {
+    if (a.Level() != b.Level()) return a.Level() < b.Level();
+    return a.pattern < b.pattern;
+  });
+  return mups;
+}
+
+std::vector<Mup> MupFinder::MinLevel(const std::vector<Mup>& mups) {
+  if (mups.empty()) return {};
+  int min_level = mups[0].Level();
+  for (const auto& m : mups) min_level = std::min(min_level, m.Level());
+  std::vector<Mup> out;
+  for (const auto& m : mups) {
+    if (m.Level() == min_level) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace chameleon::coverage

@@ -1,0 +1,61 @@
+#ifndef CHAMELEON_COVERAGE_MUP_FINDER_H_
+#define CHAMELEON_COVERAGE_MUP_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coverage/pattern_counter.h"
+#include "src/data/pattern.h"
+#include "src/data/schema.h"
+
+namespace chameleon::coverage {
+
+/// Configuration for MUP discovery.
+struct MupFinderOptions {
+  /// Coverage threshold tau: a subgroup g is uncovered when |g ∩ D| < tau.
+  int64_t tau = 50;
+  /// Only report MUPs at level <= max_level (d by default, i.e. all).
+  int max_level = -1;
+};
+
+/// One discovered Maximal Uncovered Pattern with its coverage count and
+/// gap delta(M) = tau - |D ∩ M|.
+struct Mup {
+  data::Pattern pattern;
+  int64_t count = 0;
+  int64_t gap = 0;
+
+  int Level() const { return pattern.Level(); }
+};
+
+/// Discovers all Maximal Uncovered Patterns (§2.3): patterns P with
+/// |D ∩ P| < tau whose parents are all covered. Two algorithms:
+///
+///  * FindMups       — top-down lattice BFS expanding only covered nodes,
+///                     with memoized counts (the practical algorithm).
+///  * FindMupsNaive  — full lattice materialization with the same MUP
+///                     predicate, used as a correctness oracle in tests
+///                     and as the ablation baseline in benchmarks.
+class MupFinder {
+ public:
+  MupFinder(const data::AttributeSchema& schema, const PatternCounter& counter);
+
+  std::vector<Mup> FindMups(const MupFinderOptions& options) const;
+  std::vector<Mup> FindMupsNaive(const MupFinderOptions& options) const;
+
+  /// Restricts a MUP list to its minimum level: the set M* of §4.
+  static std::vector<Mup> MinLevel(const std::vector<Mup>& mups);
+
+  /// Number of Count() calls issued by the last FindMups invocation
+  /// (diagnostic; not thread-safe).
+  int64_t last_count_queries() const { return last_count_queries_; }
+
+ private:
+  const data::AttributeSchema* schema_;
+  const PatternCounter* counter_;
+  mutable int64_t last_count_queries_ = 0;
+};
+
+}  // namespace chameleon::coverage
+
+#endif  // CHAMELEON_COVERAGE_MUP_FINDER_H_

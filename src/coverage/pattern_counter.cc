@@ -1,0 +1,91 @@
+#include "src/coverage/pattern_counter.h"
+
+#include <algorithm>
+
+namespace chameleon::coverage {
+
+PatternCounter::PatternCounter(const data::AttributeSchema& schema)
+    : schema_(&schema) {
+  postings_.resize(schema.num_attributes());
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    postings_[a].resize(schema.attribute(a).cardinality());
+  }
+}
+
+PatternCounter PatternCounter::FromDataset(const data::Dataset& dataset) {
+  PatternCounter counter(dataset.schema());
+  for (const auto& t : dataset.tuples()) counter.AddTuple(t.values);
+  return counter;
+}
+
+void PatternCounter::AddTuple(const std::vector<int>& values) {
+  for (int a = 0; a < schema_->num_attributes(); ++a) {
+    postings_[a][values[a]].push_back(num_tuples_);
+  }
+  ++num_tuples_;
+}
+
+const std::vector<int64_t>& PatternCounter::Postings(int attribute,
+                                                     int value) const {
+  return postings_[attribute][value];
+}
+
+int64_t PatternCounter::Count(const data::Pattern& pattern) const {
+  // Collect the posting lists of specified cells, smallest first.
+  std::vector<const std::vector<int64_t>*> lists;
+  for (int a = 0; a < pattern.num_attributes(); ++a) {
+    if (pattern.IsSpecified(a)) {
+      lists.push_back(&Postings(a, pattern.cell(a)));
+    }
+  }
+  if (lists.empty()) return num_tuples_;
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  if (lists.size() == 1) return static_cast<int64_t>(lists[0]->size());
+
+  // Galloping intersection seeded by the smallest list.
+  int64_t count = 0;
+  for (int64_t id : *lists[0]) {
+    bool in_all = true;
+    for (size_t l = 1; l < lists.size(); ++l) {
+      if (!std::binary_search(lists[l]->begin(), lists[l]->end(), id)) {
+        in_all = false;
+        break;
+      }
+    }
+    count += in_all;
+  }
+  return count;
+}
+
+std::vector<int64_t> PatternCounter::Matching(
+    const data::Pattern& pattern) const {
+  std::vector<const std::vector<int64_t>*> lists;
+  for (int a = 0; a < pattern.num_attributes(); ++a) {
+    if (pattern.IsSpecified(a)) {
+      lists.push_back(&Postings(a, pattern.cell(a)));
+    }
+  }
+  std::vector<int64_t> result;
+  if (lists.empty()) {
+    result.resize(num_tuples_);
+    for (int64_t i = 0; i < num_tuples_; ++i) result[i] = i;
+    return result;
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  for (int64_t id : *lists[0]) {
+    bool in_all = true;
+    for (size_t l = 1; l < lists.size(); ++l) {
+      if (!std::binary_search(lists[l]->begin(), lists[l]->end(), id)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) result.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace chameleon::coverage

@@ -1,0 +1,58 @@
+#include "src/data/dataset.h"
+
+namespace chameleon::data {
+
+util::Status Dataset::Add(Tuple tuple) {
+  if (!schema_.IsValidCombination(tuple.values)) {
+    return util::Status::InvalidArgument(
+        "tuple values do not match the schema");
+  }
+  tuples_.push_back(std::move(tuple));
+  return util::Status::Ok();
+}
+
+int64_t Dataset::CountMatching(const Pattern& pattern) const {
+  int64_t count = 0;
+  for (const auto& t : tuples_) count += pattern.Matches(t.values);
+  return count;
+}
+
+std::vector<size_t> Dataset::IndicesMatching(const Pattern& pattern) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (pattern.Matches(tuples_[i].values)) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::unordered_map<int64_t, int64_t> Dataset::CombinationHistogram() const {
+  std::unordered_map<int64_t, int64_t> histogram;
+  for (const auto& t : tuples_) {
+    ++histogram[schema_.CombinationIndex(t.values)];
+  }
+  return histogram;
+}
+
+int64_t Dataset::NumSynthetic() const {
+  int64_t count = 0;
+  for (const auto& t : tuples_) count += t.synthetic;
+  return count;
+}
+
+std::vector<double> Dataset::EmbeddingMean() const {
+  std::vector<double> mean;
+  int64_t counted = 0;
+  for (const auto& t : tuples_) {
+    if (t.embedding.empty()) continue;
+    if (mean.empty()) mean.assign(t.embedding.size(), 0.0);
+    if (t.embedding.size() != mean.size()) continue;
+    for (size_t k = 0; k < mean.size(); ++k) mean[k] += t.embedding[k];
+    ++counted;
+  }
+  if (counted > 0) {
+    for (double& v : mean) v /= static_cast<double>(counted);
+  }
+  return mean;
+}
+
+}  // namespace chameleon::data

@@ -1,0 +1,67 @@
+#ifndef CHAMELEON_DATA_DATASET_H_
+#define CHAMELEON_DATA_DATASET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/pattern.h"
+#include "src/data/schema.h"
+#include "src/util/status.h"
+
+namespace chameleon::data {
+
+/// One multi-modal tuple: attribute-of-interest values, an embedding
+/// vector v(t) in R^K, and a payload handle that owners may use to attach
+/// modality data (e.g. an image id in an external store). `synthetic`
+/// marks tuples that were generated rather than observed.
+struct Tuple {
+  std::vector<int> values;
+  std::vector<double> embedding;
+  int64_t payload_id = -1;
+  bool synthetic = false;
+};
+
+/// The data set D = {t_1, ..., t_n}: a schema plus tuples, with
+/// coverage-oriented counting helpers.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(AttributeSchema schema) : schema_(std::move(schema)) {}
+
+  const AttributeSchema& schema() const { return schema_; }
+
+  /// Appends a tuple; rejects value vectors that do not fit the schema.
+  util::Status Add(Tuple tuple);
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  Tuple& mutable_tuple(size_t i) { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// |D ∩ P| — number of tuples matching the pattern (linear scan; use
+  /// coverage::PatternCounter for repeated queries).
+  int64_t CountMatching(const Pattern& pattern) const;
+
+  /// Indices of tuples matching the pattern.
+  std::vector<size_t> IndicesMatching(const Pattern& pattern) const;
+
+  /// Count of tuples per full-level combination index.
+  std::unordered_map<int64_t, int64_t> CombinationHistogram() const;
+
+  /// Number of tuples flagged synthetic.
+  int64_t NumSynthetic() const;
+
+  /// Mean of the tuple embeddings (the sample estimate of mu_xi, §3.1).
+  /// Returns an empty vector when the data set has no embeddings.
+  std::vector<double> EmbeddingMean() const;
+
+ private:
+  AttributeSchema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace chameleon::data
+
+#endif  // CHAMELEON_DATA_DATASET_H_

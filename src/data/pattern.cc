@@ -1,0 +1,100 @@
+#include "src/data/pattern.h"
+
+namespace chameleon::data {
+
+int Pattern::Level() const {
+  int level = 0;
+  for (int c : cells_) level += (c != kUnspecified);
+  return level;
+}
+
+bool Pattern::Matches(const std::vector<int>& values) const {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] != kUnspecified && cells_[i] != values[i]) return false;
+  }
+  return true;
+}
+
+bool Pattern::Contains(const Pattern& other) const {
+  if (other.cells_.size() != cells_.size()) return false;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] != kUnspecified && cells_[i] != other.cells_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Pattern Pattern::WithCell(int i, int value) const {
+  Pattern out = *this;
+  out.cells_[i] = value;
+  return out;
+}
+
+Pattern Pattern::WithUnspecified(int i) const {
+  Pattern out = *this;
+  out.cells_[i] = kUnspecified;
+  return out;
+}
+
+std::vector<Pattern> Pattern::Parents() const {
+  std::vector<Pattern> parents;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (IsSpecified(i)) parents.push_back(WithUnspecified(i));
+  }
+  return parents;
+}
+
+std::vector<Pattern> Pattern::Children(const AttributeSchema& schema) const {
+  std::vector<Pattern> children;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (IsSpecified(i)) continue;
+    for (int v = 0; v < schema.attribute(i).cardinality(); ++v) {
+      children.push_back(WithCell(i, v));
+    }
+  }
+  return children;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  for (int c : cells_) {
+    if (c == kUnspecified) {
+      out += 'X';
+    } else if (c < 10) {
+      out += static_cast<char>('0' + c);
+    } else {
+      out += '[';
+      out += std::to_string(c);
+      out += ']';
+    }
+  }
+  return out;
+}
+
+std::string Pattern::ToString(const AttributeSchema& schema) const {
+  std::string out;
+  bool first = true;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (!IsSpecified(i)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += schema.attribute(i).name;
+    out += '=';
+    out += schema.attribute(i).values[cells_[i]];
+  }
+  if (first) out = "<all>";
+  return out;
+}
+
+size_t PatternHash::operator()(const Pattern& p) const {
+  // FNV-1a over the cell values.
+  size_t hash = 1469598103934665603ULL;
+  for (int c : p.cells()) {
+    hash ^= static_cast<size_t>(c + 2);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace chameleon::data

@@ -1,0 +1,88 @@
+#ifndef CHAMELEON_DATA_PATTERN_H_
+#define CHAMELEON_DATA_PATTERN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/data/schema.h"
+
+namespace chameleon::data {
+
+/// A pattern P (§2.3) is a string of d cells; each cell is either a value
+/// index into the attribute's domain, or kUnspecified (printed as 'X').
+/// The pattern X01 matches every tuple with x2=0 and x3=1.
+class Pattern {
+ public:
+  static constexpr int kUnspecified = -1;
+
+  Pattern() = default;
+
+  /// All-unspecified pattern of the given arity (the lattice root).
+  explicit Pattern(int num_attributes)
+      : cells_(num_attributes, kUnspecified) {}
+
+  /// Pattern from explicit cells (kUnspecified for X).
+  explicit Pattern(std::vector<int> cells) : cells_(std::move(cells)) {}
+
+  int num_attributes() const { return static_cast<int>(cells_.size()); }
+  int cell(int i) const { return cells_[i]; }
+  const std::vector<int>& cells() const { return cells_; }
+
+  bool IsSpecified(int i) const { return cells_[i] != kUnspecified; }
+
+  /// The level l(P): number of specified attributes.
+  int Level() const;
+
+  /// True when every specified cell equals the tuple's value.
+  bool Matches(const std::vector<int>& values) const;
+
+  /// True if this pattern's subgroup contains `other`'s — i.e. other
+  /// specifies a superset of this pattern's constraints with equal values.
+  bool Contains(const Pattern& other) const;
+
+  /// Copy with attribute `i` set to `value`.
+  Pattern WithCell(int i, int value) const;
+
+  /// Copy with attribute `i` made unspecified.
+  Pattern WithUnspecified(int i) const;
+
+  /// All parents: level-(l-1) generalizations (one specified cell relaxed).
+  std::vector<Pattern> Parents() const;
+
+  /// All children under the schema: one unspecified cell bound to each
+  /// domain value (level l+1 specializations).
+  std::vector<Pattern> Children(const AttributeSchema& schema) const;
+
+  /// Canonical "X01"-style rendering; multi-digit values are bracketed,
+  /// e.g. "X[12]0".
+  std::string ToString() const;
+
+  /// Named rendering using the schema, e.g. "race=Black".
+  std::string ToString(const AttributeSchema& schema) const;
+
+  bool operator==(const Pattern& other) const { return cells_ == other.cells_; }
+  bool operator!=(const Pattern& other) const { return !(*this == other); }
+
+  /// Deterministic total order (lexicographic) for canonical output.
+  bool operator<(const Pattern& other) const { return cells_ < other.cells_; }
+
+ private:
+  std::vector<int> cells_;
+};
+
+/// Hash functor so patterns can key unordered containers.
+struct PatternHash {
+  size_t operator()(const Pattern& p) const;
+};
+
+/// A pattern paired with the number of synthetic tuples still needed to
+/// cover it: delta(M) = tau - |D ∩ M| (§4).
+struct MupGap {
+  Pattern pattern;
+  int64_t gap = 0;
+};
+
+}  // namespace chameleon::data
+
+#endif  // CHAMELEON_DATA_PATTERN_H_

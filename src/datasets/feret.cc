@@ -1,0 +1,107 @@
+#include "src/datasets/feret.h"
+
+#include <cmath>
+
+namespace chameleon::datasets {
+namespace {
+
+// Table 2 (male, female) counts per ethnicity.
+struct EthnicityCounts {
+  int male;
+  int female;
+};
+constexpr EthnicityCounts kTable2[] = {
+    {331, 229},  // White
+    {21, 19},    // Black
+    {80, 47},    // Asian
+    {11, 8},     // Hispanic
+    {9, 1},      // Middle Eastern
+};
+
+// Ethnicity -> skin palette group (light..dark render anchors).
+constexpr int kSkinGroup[] = {0, 4, 1, 2, 3};
+constexpr int kNumSkinGroups = 5;
+
+}  // namespace
+
+data::AttributeSchema FeretSchema() {
+  data::AttributeSchema schema;
+  // Domains are fixed literals; AddAttribute cannot fail here.
+  (void)schema.AddAttribute({"gender", {"Male", "Female"}, false});
+  (void)schema.AddAttribute(
+      {"ethnicity",
+       {"White", "Black", "Asian", "Hispanic", "MiddleEastern"},
+       false});
+  return schema;
+}
+
+CombinationCounts FeretTrainCounts() {
+  CombinationCounts counts;
+  for (int e = 0; e < 5; ++e) {
+    counts.push_back({{0, e}, kTable2[e].male});
+    counts.push_back({{1, e}, kTable2[e].female});
+  }
+  return counts;
+}
+
+image::SceneStyle FeretScene() {
+  image::SceneStyle scene;
+  // Uniform light-gray studio backdrop.
+  scene.background_top = {168, 168, 172};
+  scene.background_bottom = {148, 148, 152};
+  scene.blur_sigma = 0.5;
+  return scene;
+}
+
+fm::FaceStyleFn FeretFaceStyleFn() {
+  return [](const std::vector<int>& values, util::Rng* rng) {
+    const bool feminine = values[kFeretGender] == 1;
+    const int skin_group = kSkinGroup[values[kFeretEthnicity]];
+    // FERET subjects skew adult; keep a mid-age prior.
+    const double age01 = 0.15 + 0.75 * rng->NextDouble();
+    return image::MakeFaceStyle(skin_group, kNumSkinGroups, feminine, age01,
+                                rng);
+  };
+}
+
+util::Result<fm::Corpus> MakeFeret(const embedding::Embedder* embedder,
+                                   const FeretOptions& options) {
+  fm::Corpus corpus;
+  corpus.dataset = data::Dataset(FeretSchema());
+  util::Rng rng(options.seed);
+  CHAMELEON_RETURN_NOT_OK(FillCorpus(&corpus, FeretTrainCounts(),
+                                     FeretFaceStyleFn(), FeretScene(),
+                                     embedder, options.render, &rng));
+  return corpus;
+}
+
+util::Result<fm::Corpus> MakeFeretTestSet(
+    const embedding::Embedder* embedder, const FeretOptions& options,
+    const std::vector<int>& per_ethnicity) {
+  if (per_ethnicity.size() != 5) {
+    return util::Status::InvalidArgument(
+        "per_ethnicity needs 5 entries (Table 2 rows)");
+  }
+  CombinationCounts counts;
+  for (int e = 0; e < 5; ++e) {
+    // Preserve the training gender ratio within each ethnicity.
+    const double male_share =
+        static_cast<double>(kTable2[e].male) /
+        (kTable2[e].male + kTable2[e].female);
+    const int males = std::max(
+        1, static_cast<int>(std::lround(per_ethnicity[e] * male_share)));
+    const int females = std::max(1, per_ethnicity[e] - males);
+    counts.push_back({{0, e}, males});
+    counts.push_back({{1, e}, females});
+  }
+  fm::Corpus corpus;
+  corpus.dataset = data::Dataset(FeretSchema());
+  // Decorrelate the holdout from the training draw.
+  util::Rng rng(options.seed ^ 0xFEE7DB15ULL);
+  CHAMELEON_RETURN_NOT_OK(FillCorpus(&corpus, counts, FeretFaceStyleFn(),
+                                     FeretScene(), embedder, options.render,
+                                     &rng));
+  return corpus;
+}
+
+}  // namespace chameleon::datasets

@@ -1,0 +1,62 @@
+#ifndef CHAMELEON_DATASETS_FERET_H_
+#define CHAMELEON_DATASETS_FERET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/datasets/synthetic_corpus.h"
+#include "src/fm/corpus.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/image/face_renderer.h"
+#include "src/util/status.h"
+
+namespace chameleon::datasets {
+
+/// Attribute indices of the FERET schema.
+inline constexpr int kFeretGender = 0;
+inline constexpr int kFeretEthnicity = 1;
+
+/// Ethnicity value indices (Table 2 row order).
+inline constexpr int kFeretWhite = 0;
+inline constexpr int kFeretBlack = 1;
+inline constexpr int kFeretAsian = 2;
+inline constexpr int kFeretHispanic = 3;
+inline constexpr int kFeretMiddleEastern = 4;
+
+struct FeretOptions {
+  RenderSpec render;
+  uint64_t seed = 42;
+};
+
+/// gender {Male, Female} x ethnicity {White, Black, Asian, Hispanic,
+/// Middle Eastern}.
+data::AttributeSchema FeretSchema();
+
+/// The paper's Table 2 training counts per (ethnicity, gender):
+/// 756 images, heavily skewed towards White.
+CombinationCounts FeretTrainCounts();
+
+/// Scene style shared by all FERET images (the standardized studio
+/// backdrop the real corpus is known for).
+image::SceneStyle FeretScene();
+
+/// Demographics -> appearance mapping for FERET.
+fm::FaceStyleFn FeretFaceStyleFn();
+
+/// Builds the synthetic FERET training corpus with exactly the Table 2
+/// composition.
+util::Result<fm::Corpus> MakeFeret(const embedding::Embedder* embedder,
+                                   const FeretOptions& options);
+
+/// A held-out all-real test corpus. `per_ethnicity` gives the test count
+/// for each ethnicity (split across genders like the training data);
+/// defaults approximate a proportional 25% holdout with floors so that
+/// minority metrics are measurable.
+util::Result<fm::Corpus> MakeFeretTestSet(
+    const embedding::Embedder* embedder, const FeretOptions& options,
+    const std::vector<int>& per_ethnicity = {240, 30, 60, 24, 20});
+
+}  // namespace chameleon::datasets
+
+#endif  // CHAMELEON_DATASETS_FERET_H_

@@ -1,0 +1,36 @@
+#include "src/datasets/synthetic_corpus.h"
+
+namespace chameleon::datasets {
+
+util::Status FillCorpus(fm::Corpus* corpus, const CombinationCounts& counts,
+                        const fm::FaceStyleFn& style_fn,
+                        const image::SceneStyle& scene,
+                        const embedding::Embedder* embedder,
+                        const RenderSpec& spec, util::Rng* rng) {
+  for (const auto& [values, count] : counts) {
+    for (int i = 0; i < count; ++i) {
+      data::Tuple tuple;
+      tuple.values = values;
+      tuple.synthetic = false;
+      if (!spec.render_images) {
+        CHAMELEON_RETURN_NOT_OK(corpus->AddAnnotationOnly(std::move(tuple)));
+        continue;
+      }
+      const image::FaceStyle style = style_fn(values, rng);
+      image::RenderOptions render;
+      render.size = spec.image_size;
+      const image::SceneStyle shot_scene =
+          image::JitterScene(scene, spec.scene_jitter_stddev, rng);
+      const image::Image img =
+          image::RenderFace(style, shot_scene, render, rng);
+      if (embedder != nullptr) tuple.embedding = embedder->Embed(img);
+      const double realism =
+          rng->NextGaussian(spec.realism_mean, spec.realism_stddev);
+      CHAMELEON_RETURN_NOT_OK(
+          corpus->Add(std::move(tuple), img, realism));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace chameleon::datasets

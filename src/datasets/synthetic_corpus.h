@@ -1,0 +1,47 @@
+#ifndef CHAMELEON_DATASETS_SYNTHETIC_CORPUS_H_
+#define CHAMELEON_DATASETS_SYNTHETIC_CORPUS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/fm/corpus.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/image/face_renderer.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace chameleon::datasets {
+
+/// Rendering/embedding controls shared by the corpus builders.
+struct RenderSpec {
+  /// When false, tuples carry only annotations (coverage-only
+  /// experiments run orders of magnitude faster).
+  bool render_images = true;
+  int image_size = 64;
+  /// Per-photo lighting variation (0-255 channel units). Photo corpora
+  /// vary in exposure/backdrop; this variance keeps the distribution
+  /// test focused on context rather than subject identity.
+  double scene_jitter_stddev = 12.0;
+  /// Latent realism of real photographs: calibrated so the simulated
+  /// evaluators label ~86% of real images realistic (the paper's p).
+  double realism_mean = 0.92;
+  double realism_stddev = 0.04;
+};
+
+/// (combination values, count) pairs describing a corpus composition.
+using CombinationCounts = std::vector<std::pair<std::vector<int>, int>>;
+
+/// Appends `count` tuples per combination to `corpus`, rendering faces
+/// with `style_fn` under `scene` and embedding them with `embedder`
+/// (both ignored when render_images is false).
+util::Status FillCorpus(fm::Corpus* corpus, const CombinationCounts& counts,
+                        const fm::FaceStyleFn& style_fn,
+                        const image::SceneStyle& scene,
+                        const embedding::Embedder* embedder,
+                        const RenderSpec& spec, util::Rng* rng);
+
+}  // namespace chameleon::datasets
+
+#endif  // CHAMELEON_DATASETS_SYNTHETIC_CORPUS_H_

@@ -1,0 +1,27 @@
+#ifndef CHAMELEON_EMBEDDING_EMBEDDER_H_
+#define CHAMELEON_EMBEDDING_EMBEDDER_H_
+
+#include <vector>
+
+#include "src/image/image.h"
+
+namespace chameleon::embedding {
+
+/// Maps a multi-modal tuple payload (an image) to its vector
+/// representation v(t) in R^K (§3.1). The paper uses MobileNetV3; any
+/// implementation where cosine similarity tracks semantic similarity
+/// satisfies the contract.
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  /// Embedding dimensionality K.
+  virtual int dim() const = 0;
+
+  /// Embeds one image.
+  virtual std::vector<double> Embed(const image::Image& image) const = 0;
+};
+
+}  // namespace chameleon::embedding
+
+#endif  // CHAMELEON_EMBEDDING_EMBEDDER_H_

@@ -1,0 +1,40 @@
+#ifndef CHAMELEON_EMBEDDING_SIMULATED_EMBEDDER_H_
+#define CHAMELEON_EMBEDDING_SIMULATED_EMBEDDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/linalg/matrix.h"
+
+namespace chameleon::embedding {
+
+/// The MobileNetV3 stand-in: a deterministic shallow feature extractor
+/// (downsampled luminance grid, global and border color statistics,
+/// gradient energy) followed by a fixed seeded Gaussian random projection
+/// into R^K. Random projections approximately preserve distances
+/// (Johnson-Lindenstrauss), so in-distribution images cluster and
+/// context drift — e.g. a foundation model inventing its own background —
+/// moves the embedding, which is exactly the signal the OCSVM
+/// distribution test needs.
+class SimulatedEmbedder : public Embedder {
+ public:
+  explicit SimulatedEmbedder(int dim = 32, uint64_t seed = 7);
+
+  int dim() const override { return dim_; }
+  std::vector<double> Embed(const image::Image& image) const override;
+
+  /// The raw (pre-projection) feature vector — exposed for tests.
+  static std::vector<double> RawFeatures(const image::Image& image);
+
+  /// Raw feature dimensionality.
+  static int raw_dim();
+
+ private:
+  int dim_;
+  linalg::Matrix projection_;  // (dim x raw_dim)
+};
+
+}  // namespace chameleon::embedding
+
+#endif  // CHAMELEON_EMBEDDING_SIMULATED_EMBEDDER_H_

@@ -1,0 +1,62 @@
+#ifndef CHAMELEON_FM_CORPUS_H_
+#define CHAMELEON_FM_CORPUS_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/image/image.h"
+#include "src/util/status.h"
+
+namespace chameleon::fm {
+
+/// A multi-modal corpus: the relational view (Dataset) plus per-tuple
+/// image payloads and the simulator's latent realism ground truth.
+/// tuple(i).payload_id indexes into `images` and `realism`.
+struct Corpus {
+  data::Dataset dataset;
+  std::vector<image::Image> images;
+  std::vector<double> realism;
+
+  /// Appends a tuple with its payload, wiring payload_id.
+  util::Status Add(data::Tuple tuple, image::Image image,
+                   double tuple_realism) {
+    tuple.payload_id = static_cast<int64_t>(images.size());
+    CHAMELEON_RETURN_NOT_OK(dataset.Add(std::move(tuple)));
+    images.push_back(std::move(image));
+    realism.push_back(tuple_realism);
+    return util::Status::Ok();
+  }
+
+  /// Appends an annotation-only tuple (no payload), for coverage-only
+  /// experiments.
+  util::Status AddAnnotationOnly(data::Tuple tuple) {
+    tuple.payload_id = -1;
+    return dataset.Add(std::move(tuple));
+  }
+
+  /// Realism values of the real (non-synthetic) tuples that carry
+  /// payloads — the calibration sample for estimating p.
+  std::vector<double> RealTupleRealism() const {
+    std::vector<double> out;
+    for (const auto& t : dataset.tuples()) {
+      if (!t.synthetic && t.payload_id >= 0) {
+        out.push_back(realism[t.payload_id]);
+      }
+    }
+    return out;
+  }
+
+  /// Embeddings of all tuples that have one.
+  std::vector<std::vector<double>> Embeddings() const {
+    std::vector<std::vector<double>> out;
+    for (const auto& t : dataset.tuples()) {
+      if (!t.embedding.empty()) out.push_back(t.embedding);
+    }
+    return out;
+  }
+};
+
+}  // namespace chameleon::fm
+
+#endif  // CHAMELEON_FM_CORPUS_H_

@@ -1,0 +1,189 @@
+#include "src/fm/corpus_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/image/pnm_io.h"
+
+namespace chameleon::fm {
+namespace {
+
+namespace filesystem = std::filesystem;
+
+std::string ImagePath(const std::string& directory, int64_t payload_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%06lld.ppm",
+                static_cast<long long>(payload_id));
+  return directory + "/images/" + name;
+}
+
+// Splits one CSV line (no quoting: the format never emits commas inside
+// fields).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+util::Status WriteTextFile(const std::string& path,
+                           const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot write " + path);
+  out << contents;
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& directory,
+                        bool include_images) {
+  std::error_code ec;
+  filesystem::create_directories(directory, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create directory " + directory +
+                                 ": " + ec.message());
+  }
+
+  // schema.csv: one row per attribute.
+  {
+    std::ostringstream out;
+    const auto& schema = corpus.dataset.schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      const auto& attribute = schema.attribute(a);
+      out << attribute.name << ',' << (attribute.ordinal ? 1 : 0);
+      for (const auto& value : attribute.values) out << ',' << value;
+      out << '\n';
+    }
+    CHAMELEON_RETURN_NOT_OK(
+        WriteTextFile(directory + "/schema.csv", out.str()));
+  }
+
+  // tuples.csv: payload_id, synthetic, d values, K embedding entries.
+  {
+    std::ostringstream out;
+    for (const auto& t : corpus.dataset.tuples()) {
+      out << t.payload_id << ',' << (t.synthetic ? 1 : 0);
+      for (int v : t.values) out << ',' << v;
+      for (double e : t.embedding) out << ',' << e;
+      out << '\n';
+    }
+    CHAMELEON_RETURN_NOT_OK(
+        WriteTextFile(directory + "/tuples.csv", out.str()));
+  }
+
+  // realism.csv: payload_id, latent realism.
+  {
+    std::ostringstream out;
+    for (size_t i = 0; i < corpus.realism.size(); ++i) {
+      out << i << ',' << corpus.realism[i] << '\n';
+    }
+    CHAMELEON_RETURN_NOT_OK(
+        WriteTextFile(directory + "/realism.csv", out.str()));
+  }
+
+  if (include_images && !corpus.images.empty()) {
+    filesystem::create_directories(directory + "/images", ec);
+    if (ec) {
+      return util::Status::IoError("cannot create images directory: " +
+                                   ec.message());
+    }
+    for (size_t i = 0; i < corpus.images.size(); ++i) {
+      CHAMELEON_RETURN_NOT_OK(image::WritePnm(
+          corpus.images[i], ImagePath(directory, static_cast<int64_t>(i))));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<Corpus> LoadCorpus(const std::string& directory) {
+  Corpus corpus;
+
+  // Schema.
+  {
+    std::ifstream in(directory + "/schema.csv");
+    if (!in) {
+      return util::Status::IoError("cannot read " + directory +
+                                   "/schema.csv");
+    }
+    data::AttributeSchema schema;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = SplitCsv(line);
+      if (fields.size() < 4) {
+        return util::Status::IoError("malformed schema row: " + line);
+      }
+      data::Attribute attribute;
+      attribute.name = fields[0];
+      attribute.ordinal = fields[1] == "1";
+      attribute.values.assign(fields.begin() + 2, fields.end());
+      CHAMELEON_RETURN_NOT_OK(schema.AddAttribute(std::move(attribute)));
+    }
+    corpus.dataset = data::Dataset(schema);
+  }
+  const int d = corpus.dataset.schema().num_attributes();
+
+  // Realism (indexed by payload id).
+  {
+    std::ifstream in(directory + "/realism.csv");
+    if (in) {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const auto fields = SplitCsv(line);
+        if (fields.size() != 2) {
+          return util::Status::IoError("malformed realism row: " + line);
+        }
+        corpus.realism.push_back(std::atof(fields[1].c_str()));
+      }
+    }
+  }
+
+  // Images (optional).
+  const bool have_images =
+      filesystem::is_directory(directory + "/images");
+  if (have_images) {
+    for (size_t i = 0; i < corpus.realism.size(); ++i) {
+      auto img = image::ReadPnm(ImagePath(directory, static_cast<int64_t>(i)));
+      if (!img.ok()) return img.status();
+      corpus.images.push_back(std::move(*img));
+    }
+  }
+
+  // Tuples.
+  {
+    std::ifstream in(directory + "/tuples.csv");
+    if (!in) {
+      return util::Status::IoError("cannot read " + directory +
+                                   "/tuples.csv");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = SplitCsv(line);
+      if (static_cast<int>(fields.size()) < 2 + d) {
+        return util::Status::IoError("malformed tuple row: " + line);
+      }
+      data::Tuple tuple;
+      tuple.payload_id = std::atoll(fields[0].c_str());
+      tuple.synthetic = fields[1] == "1";
+      for (int a = 0; a < d; ++a) {
+        tuple.values.push_back(std::atoi(fields[2 + a].c_str()));
+      }
+      for (size_t f = 2 + d; f < fields.size(); ++f) {
+        tuple.embedding.push_back(std::atof(fields[f].c_str()));
+      }
+      if (!have_images) tuple.payload_id = -1;
+      CHAMELEON_RETURN_NOT_OK(corpus.dataset.Add(std::move(tuple)));
+    }
+  }
+  if (!have_images) corpus.realism.clear();
+  return corpus;
+}
+
+}  // namespace chameleon::fm

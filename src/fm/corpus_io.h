@@ -1,0 +1,30 @@
+#ifndef CHAMELEON_FM_CORPUS_IO_H_
+#define CHAMELEON_FM_CORPUS_IO_H_
+
+#include <string>
+
+#include "src/fm/corpus.h"
+#include "src/util/status.h"
+
+namespace chameleon::fm {
+
+/// Persists a corpus to a directory:
+///
+///   <dir>/schema.csv        attribute name, ordinal flag, values...
+///   <dir>/tuples.csv        id, synthetic, values..., embedding...
+///   <dir>/realism.csv       payload id, latent realism
+///   <dir>/images/NNNNNN.ppm one PNM file per payload (optional)
+///
+/// The format is deliberately plain-text/PNM so repaired corpora can be
+/// inspected and consumed by downstream tooling without this library.
+util::Status SaveCorpus(const Corpus& corpus, const std::string& directory,
+                        bool include_images = true);
+
+/// Loads a corpus previously written by SaveCorpus. Images are loaded
+/// when present; a missing images/ directory yields annotation-only
+/// tuples.
+util::Result<Corpus> LoadCorpus(const std::string& directory);
+
+}  // namespace chameleon::fm
+
+#endif  // CHAMELEON_FM_CORPUS_IO_H_

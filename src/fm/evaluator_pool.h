@@ -1,0 +1,51 @@
+#ifndef CHAMELEON_FM_EVALUATOR_POOL_H_
+#define CHAMELEON_FM_EVALUATOR_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace chameleon::fm {
+
+/// Simulated crowd of human evaluators for the quality test (§3.2). Each
+/// evaluator e has an individual strictness threshold theta_e; shown a
+/// tuple with latent realism r in [0, 1], e labels it "realistic" with
+/// probability sigmoid((r - theta_e) / softness). Real photographs have
+/// realism ~0.92, which yields the paper's measured real-image label
+/// rate p ≈ 0.86.
+class EvaluatorPool {
+ public:
+  struct Options {
+    int num_evaluators = 37;   // the paper's cohort size
+    double threshold_mean = 0.78;
+    double threshold_stddev = 0.05;
+    double softness = 0.08;
+  };
+
+  EvaluatorPool(const Options& options, uint64_t seed);
+  explicit EvaluatorPool(uint64_t seed) : EvaluatorPool(Options(), seed) {}
+
+  int num_evaluators() const { return static_cast<int>(thresholds_.size()); }
+
+  /// Probability that evaluator `e` labels a tuple of the given realism
+  /// as realistic.
+  double LabelProbability(double realism, int evaluator) const;
+
+  /// Draws `n` labels (1 = realistic) from uniformly random evaluators.
+  std::vector<int> Evaluate(double realism, int n, util::Rng* rng) const;
+
+  /// Estimates p, the rate at which random evaluators label random real
+  /// tuples realistic, from `num_samples` (evaluator, tuple) draws — the
+  /// paper's separate 10-evaluator calibration experiment.
+  double EstimateRealLabelRate(const std::vector<double>& real_realism,
+                               int num_samples, util::Rng* rng) const;
+
+ private:
+  Options options_;
+  std::vector<double> thresholds_;
+};
+
+}  // namespace chameleon::fm
+
+#endif  // CHAMELEON_FM_EVALUATOR_POOL_H_

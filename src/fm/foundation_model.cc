@@ -1,0 +1,12 @@
+#include "src/fm/foundation_model.h"
+
+namespace chameleon::fm {
+
+std::string BuildPrompt(const data::AttributeSchema& schema,
+                        const std::vector<int>& values) {
+  std::string prompt = "A realistic portrait photo of a person with ";
+  prompt += schema.CombinationToString(values);
+  return prompt;
+}
+
+}  // namespace chameleon::fm

@@ -1,0 +1,72 @@
+#ifndef CHAMELEON_FM_FOUNDATION_MODEL_H_
+#define CHAMELEON_FM_FOUNDATION_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/image/image.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace chameleon::fm {
+
+/// One query to the foundation model (§2.2): a prompt describing the
+/// target combination, and optionally a guide tuple (image + its
+/// attribute values) with a mask marking the regions to regenerate.
+struct GenerationRequest {
+  /// Full-level combination the generated tuple must match.
+  std::vector<int> target_values;
+  /// Natural-language rendering of the combination (informational for a
+  /// simulator; the payload for a hosted model).
+  std::string prompt;
+  /// Optional guide image; null for prompt-only generation.
+  const image::Image* guide = nullptr;
+  /// Attribute values of the guide tuple (required when guide is set).
+  const std::vector<int>* guide_values = nullptr;
+  /// 1-channel mask, 255 = regenerate (required when guide is set).
+  const image::Image* mask = nullptr;
+};
+
+/// A generated tuple. `latent_realism` is the simulator's hidden ground
+/// truth consumed only by the simulated human evaluators; pipeline code
+/// must treat the image as the sole observable output.
+struct GenerationResult {
+  image::Image image;
+  std::vector<int> values;
+  double latent_realism = 1.0;
+};
+
+/// Black-box generative foundation model (§2.2). Implementations must be
+/// usable interchangeably by the repair pipeline; the library ships a
+/// simulator, and a hosted DALL·E-style backend would plug in here.
+class FoundationModel {
+ public:
+  virtual ~FoundationModel() = default;
+
+  virtual util::Result<GenerationResult> Generate(
+      const GenerationRequest& request, util::Rng* rng) = 0;
+
+  /// Fixed cost v per query (monetary for hosted models).
+  virtual double query_cost() const = 0;
+
+  int64_t num_queries() const { return num_queries_; }
+  double total_cost() const { return num_queries_ * query_cost(); }
+
+ protected:
+  /// Implementations call this once per issued query.
+  void RecordQuery() { ++num_queries_; }
+
+ private:
+  int64_t num_queries_ = 0;
+};
+
+/// Builds a DALL·E-style prompt for a combination, e.g.
+/// "A realistic portrait photo of a person with gender=male, race=Black".
+std::string BuildPrompt(const data::AttributeSchema& schema,
+                        const std::vector<int>& values);
+
+}  // namespace chameleon::fm
+
+#endif  // CHAMELEON_FM_FOUNDATION_MODEL_H_

@@ -1,0 +1,80 @@
+#include "src/image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chameleon::image {
+
+void Fill(Image* image, Color color) {
+  FillRect(image, 0, 0, image->width(), image->height(), color);
+}
+
+void FillRect(Image* image, int x0, int y0, int x1, int y1, Color color) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, image->width());
+  y1 = std::min(y1, image->height());
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      image->SetPixel(x, y, color.r, color.g, color.b);
+    }
+  }
+}
+
+void FillEllipse(Image* image, double cx, double cy, double rx, double ry,
+                 Color color) {
+  if (rx <= 0.0 || ry <= 0.0) return;
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - ry)));
+  const int y1 = std::min(image->height() - 1,
+                          static_cast<int>(std::ceil(cy + ry)));
+  for (int y = y0; y <= y1; ++y) {
+    const double dy = (y - cy) / ry;
+    const double span = 1.0 - dy * dy;
+    if (span < 0.0) continue;
+    const double half_width = rx * std::sqrt(span);
+    const int x0 = std::max(0, static_cast<int>(std::floor(cx - half_width)));
+    const int x1 = std::min(image->width() - 1,
+                            static_cast<int>(std::ceil(cx + half_width)));
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = (x - cx) / rx;
+      if (dx * dx + dy * dy <= 1.0) {
+        image->SetPixel(x, y, color.r, color.g, color.b);
+      }
+    }
+  }
+}
+
+void FillCircle(Image* image, double cx, double cy, double radius,
+                Color color) {
+  FillEllipse(image, cx, cy, radius, radius, color);
+}
+
+void FillVerticalGradient(Image* image, Color top, Color bottom) {
+  const int h = image->height();
+  for (int y = 0; y < h; ++y) {
+    const double t = h > 1 ? static_cast<double>(y) / (h - 1) : 0.0;
+    const Color c{
+        static_cast<uint8_t>(top.r + t * (bottom.r - top.r)),
+        static_cast<uint8_t>(top.g + t * (bottom.g - top.g)),
+        static_cast<uint8_t>(top.b + t * (bottom.b - top.b))};
+    for (int x = 0; x < image->width(); ++x) {
+      image->SetPixel(x, y, c.r, c.g, c.b);
+    }
+  }
+}
+
+void DrawLine(Image* image, int x0, int y0, int x1, int y1, Color color) {
+  const int steps = std::max(std::abs(x1 - x0), std::abs(y1 - y0));
+  if (steps == 0) {
+    image->SetPixel(x0, y0, color.r, color.g, color.b);
+    return;
+  }
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    const int x = static_cast<int>(std::lround(x0 + t * (x1 - x0)));
+    const int y = static_cast<int>(std::lround(y0 + t * (y1 - y0)));
+    image->SetPixel(x, y, color.r, color.g, color.b);
+  }
+}
+
+}  // namespace chameleon::image

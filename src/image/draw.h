@@ -1,0 +1,39 @@
+#ifndef CHAMELEON_IMAGE_DRAW_H_
+#define CHAMELEON_IMAGE_DRAW_H_
+
+#include <cstdint>
+
+#include "src/image/image.h"
+
+namespace chameleon::image {
+
+/// Solid RGB color (applied as luminance on grayscale targets).
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+};
+
+/// Fills the whole image.
+void Fill(Image* image, Color color);
+
+/// Axis-aligned filled rectangle, [x0, x1) x [y0, y1), clipped.
+void FillRect(Image* image, int x0, int y0, int x1, int y1, Color color);
+
+/// Filled axis-aligned ellipse centered at (cx, cy) with radii (rx, ry).
+void FillEllipse(Image* image, double cx, double cy, double rx, double ry,
+                 Color color);
+
+/// Filled circle.
+void FillCircle(Image* image, double cx, double cy, double radius,
+                Color color);
+
+/// Vertical linear gradient from `top` to `bottom`.
+void FillVerticalGradient(Image* image, Color top, Color bottom);
+
+/// 1px-ish line via DDA.
+void DrawLine(Image* image, int x0, int y0, int x1, int y1, Color color);
+
+}  // namespace chameleon::image
+
+#endif  // CHAMELEON_IMAGE_DRAW_H_

@@ -1,0 +1,111 @@
+#include "src/image/filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace chameleon::image {
+
+Image GaussianBlur(const Image& input, double sigma) {
+  if (sigma <= 0.0 || input.empty()) return input;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(2 * radius + 1);
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    kernel[i + radius] = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    sum += kernel[i + radius];
+  }
+  for (double& k : kernel) k /= sum;
+
+  const int w = input.width();
+  const int h = input.height();
+  const int ch = input.channels();
+
+  // Horizontal pass into a float buffer, then vertical pass.
+  std::vector<double> temp(static_cast<size_t>(w) * h * ch, 0.0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < ch; ++c) {
+        double acc = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+          const int sx = std::clamp(x + i, 0, w - 1);
+          acc += kernel[i + radius] * input.at(sx, y, c);
+        }
+        temp[(static_cast<size_t>(y) * w + x) * ch + c] = acc;
+      }
+    }
+  }
+  Image out(w, h, ch);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < ch; ++c) {
+        double acc = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+          const int sy = std::clamp(y + i, 0, h - 1);
+          acc += kernel[i + radius] *
+                 temp[(static_cast<size_t>(sy) * w + x) * ch + c];
+        }
+        out.at(x, y, c) = static_cast<uint8_t>(std::clamp(acc, 0.0, 255.0));
+      }
+    }
+  }
+  return out;
+}
+
+void AddGaussianNoise(Image* image, double stddev, util::Rng* rng) {
+  if (stddev <= 0.0) return;
+  for (uint8_t& p : image->mutable_pixels()) {
+    const double v = p + rng->NextGaussian(0.0, stddev);
+    p = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+  }
+}
+
+void AddBanding(Image* image, int period, double amplitude) {
+  if (period <= 0 || amplitude <= 0.0) return;
+  for (int y = 0; y < image->height(); ++y) {
+    if ((y / period) % 2 == 0) continue;
+    for (int x = 0; x < image->width(); ++x) {
+      for (int c = 0; c < image->channels(); ++c) {
+        const double v = image->at(x, y, c) + amplitude;
+        image->at(x, y, c) = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+      }
+    }
+  }
+}
+
+Image DilateDisc(const Image& mask, int radius) {
+  if (radius <= 0) return mask;
+  const int w = mask.width();
+  const int h = mask.height();
+  // Precompute the disc offsets.
+  std::vector<std::pair<int, int>> offsets;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy <= radius * radius) offsets.emplace_back(dx, dy);
+    }
+  }
+  Image out(w, h, 1, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (mask.at(x, y, 0) == 0) continue;
+      for (const auto& [dx, dy] : offsets) {
+        const int nx = x + dx;
+        const int ny = y + dy;
+        if (nx >= 0 && nx < w && ny >= 0 && ny < h) out.at(nx, ny, 0) = 255;
+      }
+    }
+  }
+  return out;
+}
+
+double MeanAbsoluteDifference(const Image& a, const Image& b) {
+  double sum = 0.0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      sum += std::fabs(a.Luminance(x, y) - b.Luminance(x, y));
+    }
+  }
+  return sum / (static_cast<double>(a.width()) * a.height());
+}
+
+}  // namespace chameleon::image

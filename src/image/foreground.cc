@@ -1,0 +1,139 @@
+#include "src/image/foreground.h"
+
+#include <cmath>
+#include <vector>
+
+namespace chameleon::image {
+namespace {
+
+// Mean border color per channel (top & bottom rows, left & right columns).
+void EstimateBackground(const Image& img, double bg[3]) {
+  double sum[3] = {0, 0, 0};
+  int64_t count = 0;
+  auto accumulate = [&](int x, int y) {
+    for (int c = 0; c < img.channels(); ++c) sum[c] += img.at(x, y, c);
+    ++count;
+  };
+  for (int x = 0; x < img.width(); ++x) {
+    accumulate(x, 0);
+    accumulate(x, img.height() - 1);
+  }
+  for (int y = 1; y < img.height() - 1; ++y) {
+    accumulate(0, y);
+    accumulate(img.width() - 1, y);
+  }
+  for (int c = 0; c < 3; ++c) {
+    bg[c] = c < img.channels() ? sum[c] / count : bg[0];
+  }
+}
+
+}  // namespace
+
+Image ExtractForeground(const Image& input, const ForegroundOptions& options) {
+  const int w = input.width();
+  const int h = input.height();
+  Image mask(w, h, 1, 0);
+  if (input.empty()) return mask;
+
+  double bg[3] = {0, 0, 0};
+  EstimateBackground(input, bg);
+
+  // The synthetic scenes use vertical gradients, so compare against the
+  // row-interpolated background: top-row estimate blended towards the
+  // bottom-row estimate.
+  double bg_top[3] = {0, 0, 0};
+  double bg_bottom[3] = {0, 0, 0};
+  for (int c = 0; c < input.channels(); ++c) {
+    double top_sum = 0.0;
+    double bottom_sum = 0.0;
+    for (int x = 0; x < w; ++x) {
+      top_sum += input.at(x, 0, c);
+      bottom_sum += input.at(x, h - 1, c);
+    }
+    bg_top[c] = top_sum / w;
+    bg_bottom[c] = bottom_sum / w;
+  }
+
+  for (int y = 0; y < h; ++y) {
+    const double t = h > 1 ? static_cast<double>(y) / (h - 1) : 0.0;
+    for (int x = 0; x < w; ++x) {
+      double dist = 0.0;
+      for (int c = 0; c < input.channels(); ++c) {
+        const double expected = bg_top[c] + t * (bg_bottom[c] - bg_top[c]);
+        dist += std::fabs(input.at(x, y, c) - expected);
+      }
+      dist /= input.channels();
+      if (dist > options.color_threshold) mask.at(x, y, 0) = 255;
+    }
+  }
+
+  if (!options.largest_component_only) return mask;
+
+  // Largest 4-connected component by BFS.
+  std::vector<int> label(static_cast<size_t>(w) * h, 0);
+  int next_label = 0;
+  int best_label = 0;
+  int64_t best_size = 0;
+  std::vector<int> queue;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int idx = y * w + x;
+      if (mask.at(x, y, 0) == 0 || label[idx] != 0) continue;
+      ++next_label;
+      int64_t size = 0;
+      queue.clear();
+      queue.push_back(idx);
+      label[idx] = next_label;
+      while (!queue.empty()) {
+        const int cur = queue.back();
+        queue.pop_back();
+        ++size;
+        const int cy = cur / w;
+        const int cx = cur % w;
+        constexpr int kDx[] = {1, -1, 0, 0};
+        constexpr int kDy[] = {0, 0, 1, -1};
+        for (int dir = 0; dir < 4; ++dir) {
+          const int nx = cx + kDx[dir];
+          const int ny = cy + kDy[dir];
+          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+          const int nidx = ny * w + nx;
+          if (mask.at(nx, ny, 0) != 0 && label[nidx] == 0) {
+            label[nidx] = next_label;
+            queue.push_back(nidx);
+          }
+        }
+      }
+      if (size > best_size) {
+        best_size = size;
+        best_label = next_label;
+      }
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      mask.at(x, y, 0) = label[y * w + x] == best_label && best_label != 0
+                             ? 255
+                             : 0;
+    }
+  }
+  return mask;
+}
+
+bool MaskBoundingBox(const Image& mask, int* x0, int* y0, int* x1, int* y1) {
+  *x0 = mask.width();
+  *y0 = mask.height();
+  *x1 = -1;
+  *y1 = -1;
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      if (mask.at(x, y, 0) == 0) continue;
+      if (x < *x0) *x0 = x;
+      if (y < *y0) *y0 = y;
+      if (x > *x1) *x1 = x;
+      if (y > *y1) *y1 = y;
+    }
+  }
+  return *x1 >= *x0 && *y1 >= *y0;
+}
+
+}  // namespace chameleon::image

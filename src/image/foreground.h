@@ -1,0 +1,29 @@
+#ifndef CHAMELEON_IMAGE_FOREGROUND_H_
+#define CHAMELEON_IMAGE_FOREGROUND_H_
+
+#include "src/image/image.h"
+
+namespace chameleon::image {
+
+/// Options for foreground extraction.
+struct ForegroundOptions {
+  /// Per-channel color distance (0-255 scale) beyond which a pixel is
+  /// considered different from the estimated background.
+  double color_threshold = 28.0;
+  /// Keep only the largest 4-connected component of the raw mask.
+  bool largest_component_only = true;
+};
+
+/// The stand-in for the off-the-shelf `rembg` background remover (§5.4.1):
+/// estimates the background color from the image border, thresholds the
+/// color distance, and keeps the largest connected component. Returns a
+/// 1-channel mask (255 = foreground).
+Image ExtractForeground(const Image& input,
+                        const ForegroundOptions& options = {});
+
+/// Bounding box of a mask's non-zero pixels; returns false when empty.
+bool MaskBoundingBox(const Image& mask, int* x0, int* y0, int* x1, int* y1);
+
+}  // namespace chameleon::image
+
+#endif  // CHAMELEON_IMAGE_FOREGROUND_H_

@@ -1,0 +1,49 @@
+#include "src/image/mask_generator.h"
+
+#include <algorithm>
+
+#include "src/image/filter.h"
+
+namespace chameleon::image {
+
+const char* MaskLevelName(MaskLevel level) {
+  switch (level) {
+    case MaskLevel::kAccurate:
+      return "Accurate";
+    case MaskLevel::kModerate:
+      return "Moderate";
+    case MaskLevel::kImprecise:
+      return "Imprecise";
+  }
+  return "Unknown";
+}
+
+Image GenerateMask(const Image& guide, MaskLevel level,
+                   const ForegroundOptions& fg_options) {
+  Image mask = ExtractForeground(guide, fg_options);
+  switch (level) {
+    case MaskLevel::kAccurate:
+      return mask;
+    case MaskLevel::kModerate: {
+      const int radius = std::max(
+          1, static_cast<int>(kModerateDilationFraction * guide.width()));
+      return DilateDisc(mask, radius);
+    }
+    case MaskLevel::kImprecise: {
+      int x0;
+      int y0;
+      int x1;
+      int y1;
+      Image box(guide.width(), guide.height(), 1, 0);
+      if (MaskBoundingBox(mask, &x0, &y0, &x1, &y1)) {
+        for (int y = y0; y <= y1; ++y) {
+          for (int x = x0; x <= x1; ++x) box.at(x, y, 0) = 255;
+        }
+      }
+      return box;
+    }
+  }
+  return mask;
+}
+
+}  // namespace chameleon::image

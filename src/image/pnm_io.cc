@@ -1,0 +1,84 @@
+#include "src/image/pnm_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace chameleon::image {
+
+util::Status WritePnm(const Image& image, const std::string& path) {
+  if (image.empty()) {
+    return util::Status::InvalidArgument("cannot write empty image");
+  }
+  if (image.channels() != 1 && image.channels() != 3) {
+    return util::Status::InvalidArgument("PNM supports 1 or 3 channels");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  out << (image.channels() == 1 ? "P5" : "P6") << "\n"
+      << image.width() << " " << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.pixels().size()));
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+namespace {
+
+// Reads the next whitespace/comment-delimited token of a PNM header.
+bool NextToken(std::ifstream& in, std::string* token) {
+  token->clear();
+  int c;
+  while ((c = in.get()) != EOF) {
+    if (c == '#') {
+      while ((c = in.get()) != EOF && c != '\n') {
+      }
+      continue;
+    }
+    if (std::isspace(c)) {
+      if (!token->empty()) return true;
+      continue;
+    }
+    token->push_back(static_cast<char>(c));
+  }
+  return !token->empty();
+}
+
+}  // namespace
+
+util::Result<Image> ReadPnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  std::string magic;
+  std::string w;
+  std::string h;
+  std::string maxval;
+  if (!NextToken(in, &magic) || !NextToken(in, &w) || !NextToken(in, &h) ||
+      !NextToken(in, &maxval)) {
+    return util::Status::IoError("truncated PNM header: " + path);
+  }
+  int channels;
+  if (magic == "P5") {
+    channels = 1;
+  } else if (magic == "P6") {
+    channels = 3;
+  } else {
+    return util::Status::InvalidArgument("unsupported PNM magic '" + magic +
+                                         "'");
+  }
+  const int width = std::atoi(w.c_str());
+  const int height = std::atoi(h.c_str());
+  if (width <= 0 || height <= 0 || maxval != "255") {
+    return util::Status::InvalidArgument("unsupported PNM geometry in " +
+                                         path);
+  }
+  Image image(width, height, channels);
+  in.read(reinterpret_cast<char*>(image.mutable_pixels().data()),
+          static_cast<std::streamsize>(image.mutable_pixels().size()));
+  if (in.gcount() !=
+      static_cast<std::streamsize>(image.mutable_pixels().size())) {
+    return util::Status::IoError("truncated PNM payload: " + path);
+  }
+  return image;
+}
+
+}  // namespace chameleon::image

@@ -1,0 +1,20 @@
+#ifndef CHAMELEON_IMAGE_PNM_IO_H_
+#define CHAMELEON_IMAGE_PNM_IO_H_
+
+#include <string>
+
+#include "src/image/image.h"
+#include "src/util/status.h"
+
+namespace chameleon::image {
+
+/// Writes a grayscale image as binary PGM (P5) or an RGB image as binary
+/// PPM (P6), chosen by channel count.
+util::Status WritePnm(const Image& image, const std::string& path);
+
+/// Reads a binary PGM (P5) or PPM (P6) file.
+util::Result<Image> ReadPnm(const std::string& path);
+
+}  // namespace chameleon::image
+
+#endif  // CHAMELEON_IMAGE_PNM_IO_H_

@@ -1,0 +1,83 @@
+#include "src/iqa/brisque.h"
+
+#include <cmath>
+
+#include "src/iqa/ggd_fit.h"
+#include "src/iqa/mscn.h"
+
+namespace chameleon::iqa {
+namespace {
+
+void AppendScaleFeatures(const image::Image& gray,
+                         std::vector<double>* features) {
+  const Field mscn = ComputeMscn(gray);
+  const GgdParams ggd = FitGgd(mscn.values);
+  features->push_back(ggd.alpha);
+  features->push_back(ggd.sigma * ggd.sigma);
+  for (Orientation orientation :
+       {Orientation::kHorizontal, Orientation::kVertical,
+        Orientation::kDiagonal, Orientation::kAntiDiagonal}) {
+    const AggdParams aggd = FitAggd(PairwiseProducts(mscn, orientation));
+    features->push_back(aggd.alpha);
+    features->push_back(aggd.mean);
+    features->push_back(aggd.sigma_left * aggd.sigma_left);
+    features->push_back(aggd.sigma_right * aggd.sigma_right);
+  }
+}
+
+}  // namespace
+
+std::vector<double> BrisqueFeatures(const image::Image& image) {
+  const image::Image gray =
+      image.channels() == 1 ? image : image.ToGrayscale();
+  std::vector<double> features;
+  features.reserve(36);
+  AppendScaleFeatures(gray, &features);
+  const image::Image half =
+      gray.Resized(std::max(2, gray.width() / 2), std::max(2, gray.height() / 2));
+  AppendScaleFeatures(half, &features);
+  return features;
+}
+
+util::Result<Brisque> Brisque::Train(
+    const std::vector<image::Image>& natural_corpus) {
+  if (natural_corpus.size() < 2) {
+    return util::Status::InvalidArgument(
+        "BRISQUE needs at least two natural images");
+  }
+  std::vector<std::vector<double>> all;
+  all.reserve(natural_corpus.size());
+  for (const auto& img : natural_corpus) all.push_back(BrisqueFeatures(img));
+
+  const size_t dim = all[0].size();
+  Brisque model;
+  model.mean_.assign(dim, 0.0);
+  model.stddev_.assign(dim, 0.0);
+  for (const auto& f : all) {
+    for (size_t i = 0; i < dim; ++i) model.mean_[i] += f[i];
+  }
+  for (double& v : model.mean_) v /= static_cast<double>(all.size());
+  for (const auto& f : all) {
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = f[i] - model.mean_[i];
+      model.stddev_[i] += d * d;
+    }
+  }
+  for (double& v : model.stddev_) {
+    v = std::sqrt(v / static_cast<double>(all.size() - 1));
+    if (v < 1e-9) v = 1e-9;
+  }
+  return model;
+}
+
+double Brisque::Score(const image::Image& image) const {
+  const std::vector<double> features = BrisqueFeatures(image);
+  double sum = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const double z = (features[i] - mean_[i]) / stddev_[i];
+    sum += z * z;
+  }
+  return std::sqrt(sum / static_cast<double>(features.size()));
+}
+
+}  // namespace chameleon::iqa

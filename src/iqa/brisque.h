@@ -1,0 +1,42 @@
+#ifndef CHAMELEON_IQA_BRISQUE_H_
+#define CHAMELEON_IQA_BRISQUE_H_
+
+#include <vector>
+
+#include "src/image/image.h"
+#include "src/util/status.h"
+
+namespace chameleon::iqa {
+
+/// Image-level BRISQUE feature vector (Mittal et al., 2012): 18 NSS
+/// features (GGD of MSCN + 4 orientation AGGD fits) at full resolution
+/// plus the same 18 at half resolution — 36 dimensions.
+std::vector<double> BrisqueFeatures(const image::Image& image);
+
+/// Blind/Referenceless Image Spatial Quality Evaluator. The original
+/// scores features with an SVR trained on the LIVE database's human
+/// opinion scores; that corpus is unavailable offline, so this
+/// implementation scores by normalized distance of the 36-D feature
+/// vector from the natural statistics of a training corpus (per-feature
+/// z-scores, RMS-combined). Higher score = worse quality. The substitution
+/// preserves BRISQUE's character: a purely low-level naturalness measure.
+class Brisque {
+ public:
+  static util::Result<Brisque> Train(
+      const std::vector<image::Image>& natural_corpus);
+
+  /// Quality score; higher is worse.
+  double Score(const image::Image& image) const;
+
+  int feature_dim() const { return static_cast<int>(mean_.size()); }
+
+ private:
+  Brisque() = default;
+
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace chameleon::iqa
+
+#endif  // CHAMELEON_IQA_BRISQUE_H_

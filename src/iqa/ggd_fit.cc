@@ -1,0 +1,99 @@
+#include "src/iqa/ggd_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/special_functions.h"
+
+namespace chameleon::iqa {
+namespace {
+
+// r(alpha) = Gamma(1/a)Gamma(3/a)/Gamma(2/a)^2, monotone decreasing in
+// alpha. Inverts r by bisection.
+double SolveShape(double target_r) {
+  double lo = 0.05;
+  double hi = 30.0;
+  // Clamp the target into the achievable range.
+  target_r = std::clamp(target_r, stats::GeneralizedGaussianRatio(hi),
+                        stats::GeneralizedGaussianRatio(lo));
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (stats::GeneralizedGaussianRatio(mid) > target_r) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+GgdParams FitGgd(const std::vector<double>& samples) {
+  GgdParams params;
+  if (samples.size() < 2) return params;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  for (double x : samples) {
+    abs_sum += std::fabs(x);
+    sq_sum += x * x;
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mean_abs = abs_sum / n;
+  const double mean_sq = sq_sum / n;
+  params.sigma = std::sqrt(mean_sq);
+  if (mean_abs < 1e-12 || mean_sq < 1e-12) {
+    params.alpha = 2.0;
+    return params;
+  }
+  // E[x^2] / (E|x|)^2 = r(alpha).
+  params.alpha = SolveShape(mean_sq / (mean_abs * mean_abs));
+  return params;
+}
+
+AggdParams FitAggd(const std::vector<double>& samples) {
+  AggdParams params;
+  if (samples.size() < 2) return params;
+  double left_sq = 0.0;
+  double right_sq = 0.0;
+  int64_t left_count = 0;
+  int64_t right_count = 0;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  for (double x : samples) {
+    abs_sum += std::fabs(x);
+    sq_sum += x * x;
+    if (x < 0.0) {
+      left_sq += x * x;
+      ++left_count;
+    } else {
+      right_sq += x * x;
+      ++right_count;
+    }
+  }
+  const double n = static_cast<double>(samples.size());
+  params.sigma_left =
+      left_count > 0 ? std::sqrt(left_sq / left_count) : 1e-6;
+  params.sigma_right =
+      right_count > 0 ? std::sqrt(right_sq / right_count) : 1e-6;
+
+  const double gamma_hat =
+      params.sigma_left / std::max(params.sigma_right, 1e-12);
+  const double mean_abs = abs_sum / n;
+  const double mean_sq = sq_sum / n;
+  if (mean_abs < 1e-12 || mean_sq < 1e-12) return params;
+  const double r_hat = (mean_abs * mean_abs) / mean_sq;
+  const double big_r = r_hat * (gamma_hat * gamma_hat * gamma_hat + 1.0) *
+                       (gamma_hat + 1.0) /
+                       ((gamma_hat * gamma_hat + 1.0) *
+                        (gamma_hat * gamma_hat + 1.0));
+  // rho(alpha) = 1 / r(alpha) is monotone increasing; invert via r.
+  params.alpha = SolveShape(1.0 / std::max(big_r, 1e-9));
+  const double gamma_ratio =
+      std::exp(stats::LogGamma(2.0 / params.alpha) -
+               stats::LogGamma(1.0 / params.alpha));
+  params.mean = (params.sigma_right - params.sigma_left) * gamma_ratio;
+  return params;
+}
+
+}  // namespace chameleon::iqa

@@ -1,0 +1,32 @@
+#ifndef CHAMELEON_IQA_GGD_FIT_H_
+#define CHAMELEON_IQA_GGD_FIT_H_
+
+#include <vector>
+
+namespace chameleon::iqa {
+
+/// Zero-mean generalized Gaussian parameters.
+struct GgdParams {
+  double alpha = 2.0;  // shape: 2 = Gaussian, 1 = Laplacian
+  double sigma = 1.0;  // scale (stddev)
+};
+
+/// Asymmetric GGD parameters (Mittal et al., BRISQUE): separate left and
+/// right scales plus the implied mean offset.
+struct AggdParams {
+  double alpha = 2.0;
+  double sigma_left = 1.0;
+  double sigma_right = 1.0;
+  double mean = 0.0;
+};
+
+/// Moment-matching GGD fit: solves r(alpha) = (E|x|)^2 / E[x^2] by
+/// bisection on the gamma-function ratio.
+GgdParams FitGgd(const std::vector<double>& samples);
+
+/// Moment-matching AGGD fit (the BRISQUE estimator).
+AggdParams FitAggd(const std::vector<double>& samples);
+
+}  // namespace chameleon::iqa
+
+#endif  // CHAMELEON_IQA_GGD_FIT_H_

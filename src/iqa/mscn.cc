@@ -1,0 +1,112 @@
+#include "src/iqa/mscn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chameleon::iqa {
+namespace {
+
+constexpr int kWindowRadius = 3;
+constexpr double kWindowSigma = 7.0 / 6.0;
+
+// Separable Gaussian smoothing of a double field with clamped borders.
+Field Smooth(const Field& input, const std::vector<double>& kernel) {
+  const int radius = static_cast<int>(kernel.size() / 2);
+  Field horizontal{input.width, input.height,
+                   std::vector<double>(input.values.size(), 0.0)};
+  for (int y = 0; y < input.height; ++y) {
+    for (int x = 0; x < input.width; ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        const int sx = std::clamp(x + i, 0, input.width - 1);
+        acc += kernel[i + radius] * input.at(sx, y);
+      }
+      horizontal.at(x, y) = acc;
+    }
+  }
+  Field out{input.width, input.height,
+            std::vector<double>(input.values.size(), 0.0)};
+  for (int y = 0; y < input.height; ++y) {
+    for (int x = 0; x < input.width; ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        const int sy = std::clamp(y + i, 0, input.height - 1);
+        acc += kernel[i + radius] * horizontal.at(x, sy);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Field ComputeMscn(const image::Image& gray) {
+  const int w = gray.width();
+  const int h = gray.height();
+  Field lum{w, h, std::vector<double>(static_cast<size_t>(w) * h)};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) lum.at(x, y) = gray.Luminance(x, y);
+  }
+
+  std::vector<double> kernel(2 * kWindowRadius + 1);
+  double sum = 0.0;
+  for (int i = -kWindowRadius; i <= kWindowRadius; ++i) {
+    kernel[i + kWindowRadius] =
+        std::exp(-(i * i) / (2.0 * kWindowSigma * kWindowSigma));
+    sum += kernel[i + kWindowRadius];
+  }
+  for (double& k : kernel) k /= sum;
+
+  const Field mu = Smooth(lum, kernel);
+  Field squared{w, h, std::vector<double>(lum.values.size())};
+  for (size_t i = 0; i < lum.values.size(); ++i) {
+    squared.values[i] = lum.values[i] * lum.values[i];
+  }
+  const Field mu_sq = Smooth(squared, kernel);
+
+  Field mscn{w, h, std::vector<double>(lum.values.size())};
+  for (size_t i = 0; i < lum.values.size(); ++i) {
+    const double variance = std::max(0.0, mu_sq.values[i] -
+                                              mu.values[i] * mu.values[i]);
+    const double sigma = std::sqrt(variance);
+    mscn.values[i] = (lum.values[i] - mu.values[i]) / (sigma + 1.0);
+  }
+  return mscn;
+}
+
+std::vector<double> PairwiseProducts(const Field& mscn,
+                                     Orientation orientation) {
+  int dx = 0;
+  int dy = 0;
+  switch (orientation) {
+    case Orientation::kHorizontal:
+      dx = 1;
+      break;
+    case Orientation::kVertical:
+      dy = 1;
+      break;
+    case Orientation::kDiagonal:
+      dx = 1;
+      dy = 1;
+      break;
+    case Orientation::kAntiDiagonal:
+      dx = -1;
+      dy = 1;
+      break;
+  }
+  std::vector<double> products;
+  products.reserve(mscn.values.size());
+  for (int y = 0; y < mscn.height; ++y) {
+    const int ny = y + dy;
+    if (ny < 0 || ny >= mscn.height) continue;
+    for (int x = 0; x < mscn.width; ++x) {
+      const int nx = x + dx;
+      if (nx < 0 || nx >= mscn.width) continue;
+      products.push_back(mscn.at(x, y) * mscn.at(nx, ny));
+    }
+  }
+  return products;
+}
+
+}  // namespace chameleon::iqa

@@ -1,0 +1,36 @@
+#ifndef CHAMELEON_IQA_MSCN_H_
+#define CHAMELEON_IQA_MSCN_H_
+
+#include <vector>
+
+#include "src/image/image.h"
+
+namespace chameleon::iqa {
+
+/// A 2-D field of doubles (row-major), e.g. MSCN coefficients.
+struct Field {
+  int width = 0;
+  int height = 0;
+  std::vector<double> values;
+
+  double at(int x, int y) const { return values[static_cast<size_t>(y) * width + x]; }
+  double& at(int x, int y) { return values[static_cast<size_t>(y) * width + x]; }
+};
+
+/// Mean-Subtracted Contrast-Normalized coefficients (Mittal et al.):
+/// mscn(x,y) = (I - mu) / (sigma + 1), with mu/sigma computed under a
+/// Gaussian window (7x7, sigma 7/6). The luminance statistics NIQE and
+/// BRISQUE are built on.
+Field ComputeMscn(const image::Image& gray);
+
+/// Pairwise-product orientations of MSCN neighbors.
+enum class Orientation { kHorizontal, kVertical, kDiagonal, kAntiDiagonal };
+
+/// Elementwise products of horizontally/vertically/diagonally adjacent
+/// MSCN coefficients; the input to the AGGD fits.
+std::vector<double> PairwiseProducts(const Field& mscn,
+                                     Orientation orientation);
+
+}  // namespace chameleon::iqa
+
+#endif  // CHAMELEON_IQA_MSCN_H_

@@ -1,0 +1,127 @@
+#include "src/iqa/nima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/iqa/brisque.h"
+#include "src/nn/trainer.h"
+#include "src/stats/summary.h"
+
+namespace chameleon::iqa {
+namespace {
+
+// Global photographic statistics appended to the NSS features.
+void AppendGlobalStats(const image::Image& image,
+                       std::vector<double>* features) {
+  stats::RunningStats lum;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      lum.Add(image.Luminance(x, y));
+    }
+  }
+  features->push_back(lum.mean() / 255.0);
+  features->push_back(lum.stddev() / 128.0);
+
+  // Gradient energy (sharpness).
+  double grad = 0.0;
+  for (int y = 0; y < image.height() - 1; ++y) {
+    for (int x = 0; x < image.width() - 1; ++x) {
+      grad += std::fabs(image.Luminance(x + 1, y) - image.Luminance(x, y)) +
+              std::fabs(image.Luminance(x, y + 1) - image.Luminance(x, y));
+    }
+  }
+  grad /= (static_cast<double>(image.width()) * image.height() * 255.0);
+  features->push_back(grad);
+}
+
+}  // namespace
+
+std::vector<double> Nima::Features(const image::Image& image) {
+  std::vector<double> features = BrisqueFeatures(image);
+  AppendGlobalStats(image, &features);
+  return features;
+}
+
+double Nima::AestheticProxy(const image::Image& image) {
+  stats::RunningStats lum;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      lum.Add(image.Luminance(x, y));
+    }
+  }
+  // Exposure balance: mid-tones preferred.
+  const double exposure = 1.0 - std::fabs(lum.mean() - 128.0) / 128.0;
+  // Contrast: saturating in the stddev.
+  const double contrast = std::min(1.0, lum.stddev() / 60.0);
+  // Sharpness proxy: mean absolute horizontal gradient.
+  double grad = 0.0;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width() - 1; ++x) {
+      grad += std::fabs(image.Luminance(x + 1, y) - image.Luminance(x, y));
+    }
+  }
+  grad /= (static_cast<double>(image.width() - 1) * image.height());
+  const double sharpness = std::min(1.0, grad / 12.0);
+  return 10.0 * (0.4 * exposure + 0.35 * contrast + 0.25 * sharpness);
+}
+
+util::Result<Nima> Nima::Train(const std::vector<image::Image>& corpus,
+                               util::Rng* rng) {
+  if (corpus.size() < 4) {
+    return util::Status::InvalidArgument("NIMA needs a larger corpus");
+  }
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> targets;
+  inputs.reserve(corpus.size());
+  for (const auto& img : corpus) {
+    inputs.push_back(Features(img));
+    targets.push_back(AestheticProxy(img));
+  }
+
+  // Standardize features.
+  const size_t dim = inputs[0].size();
+  Nima scorer;
+  scorer.feature_mean_.assign(dim, 0.0);
+  scorer.feature_scale_.assign(dim, 0.0);
+  for (const auto& f : inputs) {
+    for (size_t i = 0; i < dim; ++i) scorer.feature_mean_[i] += f[i];
+  }
+  for (double& v : scorer.feature_mean_) v /= static_cast<double>(inputs.size());
+  for (const auto& f : inputs) {
+    for (size_t i = 0; i < dim; ++i) {
+      const double d = f[i] - scorer.feature_mean_[i];
+      scorer.feature_scale_[i] += d * d;
+    }
+  }
+  for (double& v : scorer.feature_scale_) {
+    v = std::sqrt(v / static_cast<double>(inputs.size() - 1));
+    if (v < 1e-9) v = 1.0;
+  }
+  for (auto& f : inputs) {
+    for (size_t i = 0; i < dim; ++i) {
+      f[i] = (f[i] - scorer.feature_mean_[i]) / scorer.feature_scale_[i];
+    }
+  }
+
+  scorer.model_ = std::make_shared<nn::Mlp>(
+      std::vector<int>{static_cast<int>(dim), 16, 1}, rng);
+  nn::TrainOptions options;
+  options.epochs = 120;
+  options.learning_rate = 0.01;
+  options.batch_size = 16;
+  auto report = nn::TrainRegressor(scorer.model_.get(), inputs, targets,
+                                   options, rng);
+  if (!report.ok()) return report.status();
+  return scorer;
+}
+
+double Nima::Score(const image::Image& image) const {
+  std::vector<double> f = Features(image);
+  for (size_t i = 0; i < f.size(); ++i) {
+    f[i] = (f[i] - feature_mean_[i]) / feature_scale_[i];
+  }
+  const double raw = model_->Forward(f)[0];
+  return std::clamp(raw, 0.0, 10.0);
+}
+
+}  // namespace chameleon::iqa

@@ -1,0 +1,46 @@
+#ifndef CHAMELEON_IQA_NIMA_H_
+#define CHAMELEON_IQA_NIMA_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/image/image.h"
+#include "src/nn/mlp.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace chameleon::iqa {
+
+/// Neural Image Assessment (Talebi & Milanfar, 2018), rebuilt at this
+/// library's scale: a small dense network over NSS + global photographic
+/// features, trained to predict an aesthetic proxy (sharpness, contrast,
+/// exposure balance) since the AVA opinion corpus is unavailable offline.
+/// Scores in roughly [0, 10]; higher = better. Like the original, the
+/// model judges photographic quality, not semantic realism — which is
+/// exactly why Table 5 finds it disagreeing with human evaluators.
+class Nima {
+ public:
+  /// Trains the scoring network on a corpus of natural images.
+  static util::Result<Nima> Train(const std::vector<image::Image>& corpus,
+                                  util::Rng* rng);
+
+  /// Aesthetic score; higher is better.
+  double Score(const image::Image& image) const;
+
+  /// The proxy label used for training — exposed for tests.
+  static double AestheticProxy(const image::Image& image);
+
+  /// The feature vector fed to the network — exposed for tests.
+  static std::vector<double> Features(const image::Image& image);
+
+ private:
+  Nima() = default;
+
+  std::shared_ptr<nn::Mlp> model_;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+};
+
+}  // namespace chameleon::iqa
+
+#endif  // CHAMELEON_IQA_NIMA_H_

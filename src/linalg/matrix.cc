@@ -1,0 +1,181 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+
+namespace chameleon::linalg {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Multiply(const std::vector<double>& v) const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += at(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  Matrix out = *this;
+  for (size_t i = 0; i < out.data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+void Matrix::AddOuter(double s, const std::vector<double>& u,
+                      const std::vector<double>& v) {
+  for (size_t r = 0; r < rows_; ++r) {
+    const double su = s * u[r];
+    if (su == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) at(r, c) += su * v[c];
+  }
+}
+
+util::Result<Matrix> Matrix::Inverse() const {
+  if (rows_ != cols_) {
+    return util::Status::InvalidArgument("Inverse of non-square matrix");
+  }
+  const size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = Identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return util::Status::InvalidArgument("singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    const double diag = a.at(col, col);
+    for (size_t c = 0; c < n; ++c) {
+      a.at(col, c) /= diag;
+      inv.at(col, c) /= diag;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a.at(r, col);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+        inv.at(r, c) -= factor * inv.at(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+util::Result<Matrix> Matrix::CholeskyFactor() const {
+  if (rows_ != cols_) {
+    return util::Status::InvalidArgument("Cholesky of non-square matrix");
+  }
+  const size_t n = rows_;
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = at(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return util::Status::InvalidArgument("matrix not SPD");
+        }
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+util::Result<std::vector<double>> Matrix::CholeskySolve(
+    const std::vector<double>& b) const {
+  auto factor = CholeskyFactor();
+  if (!factor.ok()) return factor.status();
+  const Matrix& l = *factor;
+  const size_t n = rows_;
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l.at(k, i) * x[k];
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+util::Result<double> Matrix::LogDetSpd() const {
+  auto factor = CholeskyFactor();
+  if (!factor.ok()) return factor.status();
+  double logdet = 0.0;
+  for (size_t i = 0; i < rows_; ++i) logdet += std::log(factor->at(i, i));
+  return 2.0 * logdet;
+}
+
+util::Status ShermanMorrisonUpdate(Matrix* ainv, const std::vector<double>& u,
+                                   const std::vector<double>& v) {
+  // (A + u v^T)^{-1} = Ainv - (Ainv u v^T Ainv) / (1 + v^T Ainv u)
+  const std::vector<double> ainv_u = ainv->Multiply(u);
+  // w^T = v^T Ainv  (Ainv is not assumed symmetric).
+  const size_t n = ainv->rows();
+  std::vector<double> w(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < n; ++r) sum += v[r] * ainv->at(r, c);
+    w[c] = sum;
+  }
+  double denom = 1.0;
+  for (size_t i = 0; i < n; ++i) denom += v[i] * ainv_u[i];
+  if (std::fabs(denom) < 1e-12) {
+    return util::Status::InvalidArgument(
+        "Sherman-Morrison denominator is ~0 (singular update)");
+  }
+  ainv->AddOuter(-1.0 / denom, ainv_u, w);
+  return util::Status::Ok();
+}
+
+}  // namespace chameleon::linalg

@@ -1,0 +1,79 @@
+#ifndef CHAMELEON_LINALG_MATRIX_H_
+#define CHAMELEON_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace chameleon::linalg {
+
+/// Dense row-major matrix of doubles. Sized for the small systems this
+/// library solves (LinUCB ridge systems, OCSVM bookkeeping, MVG models);
+/// no BLAS dependency.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this * v.
+  std::vector<double> Multiply(const std::vector<double>& v) const;
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// this + other (elementwise).
+  Matrix Add(const Matrix& other) const;
+
+  /// In-place rank-1 update: this += s * u v^T.
+  void AddOuter(double s, const std::vector<double>& u,
+                const std::vector<double>& v);
+
+  /// Inverse via Gauss-Jordan with partial pivoting; fails on singular
+  /// input.
+  util::Result<Matrix> Inverse() const;
+
+  /// Solves A x = b for symmetric positive-definite A via Cholesky;
+  /// fails when A is not SPD.
+  util::Result<std::vector<double>> CholeskySolve(
+      const std::vector<double>& b) const;
+
+  /// Cholesky factor L (lower triangular, A = L L^T) for SPD matrices.
+  util::Result<Matrix> CholeskyFactor() const;
+
+  /// log(det(A)) for SPD A, via the Cholesky factor.
+  util::Result<double> LogDetSpd() const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Sherman-Morrison update: given Ainv = A^{-1}, replaces it with
+/// (A + u v^T)^{-1} in O(n^2). Fails when 1 + v^T A^{-1} u is ~0.
+util::Status ShermanMorrisonUpdate(Matrix* ainv, const std::vector<double>& u,
+                                   const std::vector<double>& v);
+
+}  // namespace chameleon::linalg
+
+#endif  // CHAMELEON_LINALG_MATRIX_H_

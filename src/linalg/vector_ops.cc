@@ -1,0 +1,64 @@
+#include "src/linalg/vector_ops.h"
+
+#include <cmath>
+
+namespace chameleon::linalg {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& v, double s) {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+void AddScaled(std::vector<double>* a, double s, const std::vector<double>& b) {
+  for (size_t i = 0; i < a->size(); ++i) (*a)[i] += s * b[i];
+}
+
+std::vector<double> Lerp(const std::vector<double>& a,
+                         const std::vector<double>& b, double t) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = (1.0 - t) * a[i] + t * b[i];
+  return out;
+}
+
+}  // namespace chameleon::linalg

@@ -1,0 +1,44 @@
+#ifndef CHAMELEON_LINALG_VECTOR_OPS_H_
+#define CHAMELEON_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace chameleon::linalg {
+
+/// Dot product. Vectors must have equal length.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm(const std::vector<double>& v);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Cosine of the angle between two vectors: the tuple-similarity measure
+/// of §3.1. Returns 0 when either vector is (near) zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a + b, elementwise.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a - b, elementwise.
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// s * v.
+std::vector<double> Scale(const std::vector<double>& v, double s);
+
+/// a += s * b (axpy).
+void AddScaled(std::vector<double>* a, double s, const std::vector<double>& b);
+
+/// (1-t)*a + t*b.
+std::vector<double> Lerp(const std::vector<double>& a,
+                         const std::vector<double>& b, double t);
+
+}  // namespace chameleon::linalg
+
+#endif  // CHAMELEON_LINALG_VECTOR_OPS_H_

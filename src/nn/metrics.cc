@@ -1,0 +1,111 @@
+#include "src/nn/metrics.h"
+
+#include <algorithm>
+
+namespace chameleon::nn {
+
+double ClassMetrics::Precision() const {
+  const int64_t denom = true_positives + false_positives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ClassMetrics::Recall() const {
+  const int64_t denom = true_positives + false_negatives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ClassMetrics::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ClassificationReport::ClassificationReport(const std::vector<int>& gold,
+                                           const std::vector<int>& predicted,
+                                           int num_classes)
+    : per_class_(num_classes) {
+  for (size_t i = 0; i < gold.size(); ++i) {
+    const int g = gold[i];
+    const int p = predicted[i];
+    ++total_;
+    ++per_class_[g].support;
+    if (g == p) {
+      ++correct_;
+      ++per_class_[g].true_positives;
+    } else {
+      ++per_class_[g].false_negatives;
+      if (p >= 0 && p < num_classes) ++per_class_[p].false_positives;
+    }
+  }
+}
+
+double ClassificationReport::Accuracy() const {
+  return total_ > 0 ? static_cast<double>(correct_) / total_ : 0.0;
+}
+
+namespace {
+
+template <typename Getter>
+double MacroAverage(const std::vector<ClassMetrics>& per_class, Getter get) {
+  double sum = 0.0;
+  int counted = 0;
+  for (const auto& m : per_class) {
+    if (m.support == 0) continue;
+    sum += get(m);
+    ++counted;
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+template <typename Getter>
+double WeightedAverage(const std::vector<ClassMetrics>& per_class,
+                       Getter get) {
+  double sum = 0.0;
+  int64_t total = 0;
+  for (const auto& m : per_class) {
+    sum += get(m) * static_cast<double>(m.support);
+    total += m.support;
+  }
+  return total > 0 ? sum / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace
+
+double ClassificationReport::MacroPrecision() const {
+  return MacroAverage(per_class_, [](const ClassMetrics& m) {
+    return m.Precision();
+  });
+}
+double ClassificationReport::MacroRecall() const {
+  return MacroAverage(per_class_, [](const ClassMetrics& m) {
+    return m.Recall();
+  });
+}
+double ClassificationReport::MacroF1() const {
+  return MacroAverage(per_class_, [](const ClassMetrics& m) {
+    return m.F1();
+  });
+}
+
+double ClassificationReport::WeightedPrecision() const {
+  return WeightedAverage(per_class_, [](const ClassMetrics& m) {
+    return m.Precision();
+  });
+}
+double ClassificationReport::WeightedRecall() const {
+  return WeightedAverage(per_class_, [](const ClassMetrics& m) {
+    return m.Recall();
+  });
+}
+double ClassificationReport::WeightedF1() const {
+  return WeightedAverage(per_class_, [](const ClassMetrics& m) {
+    return m.F1();
+  });
+}
+
+double Disparity(double group_metric, double overall_metric) {
+  if (overall_metric <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - group_metric / overall_metric);
+}
+
+}  // namespace chameleon::nn

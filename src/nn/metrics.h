@@ -1,0 +1,58 @@
+#ifndef CHAMELEON_NN_METRICS_H_
+#define CHAMELEON_NN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace chameleon::nn {
+
+/// Precision/recall/F1 for one class.
+struct ClassMetrics {
+  int64_t support = 0;
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Full multi-class evaluation report built from predictions and gold
+/// labels.
+class ClassificationReport {
+ public:
+  ClassificationReport(const std::vector<int>& gold,
+                       const std::vector<int>& predicted, int num_classes);
+
+  int num_classes() const { return static_cast<int>(per_class_.size()); }
+  const ClassMetrics& class_metrics(int c) const { return per_class_[c]; }
+
+  /// Micro accuracy: fraction of correct predictions.
+  double Accuracy() const;
+
+  /// Unweighted mean over classes with non-zero support.
+  double MacroPrecision() const;
+  double MacroRecall() const;
+  double MacroF1() const;
+
+  /// Support-weighted mean over classes (the paper's "overall" metric
+  /// style: dominated by the majority groups).
+  double WeightedPrecision() const;
+  double WeightedRecall() const;
+  double WeightedF1() const;
+
+ private:
+  std::vector<ClassMetrics> per_class_;
+  int64_t correct_ = 0;
+  int64_t total_ = 0;
+};
+
+/// p-Disparity(g) = max(0, 1 - rho_g / rho_all) — the unfairness measure
+/// of §6.3 (Figure 4). Zero when the group matches or beats the overall
+/// performance; 1 when the group's metric is zero.
+double Disparity(double group_metric, double overall_metric);
+
+}  // namespace chameleon::nn
+
+#endif  // CHAMELEON_NN_METRICS_H_

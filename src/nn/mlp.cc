@@ -1,0 +1,75 @@
+#include "src/nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chameleon::nn {
+
+Mlp::Mlp(const std::vector<int>& sizes, util::Rng* rng) : sizes_(sizes) {
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    const int in = sizes[l];
+    const int out = sizes[l + 1];
+    layer.weights = linalg::Matrix(out, in);
+    const double scale = std::sqrt(2.0 / in);
+    for (int r = 0; r < out; ++r) {
+      for (int c = 0; c < in; ++c) {
+        layer.weights.at(r, c) = rng->NextGaussian(0.0, scale);
+      }
+    }
+    layer.bias.assign(out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& input) const {
+  std::vector<double> current = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<double> next = layers_[l].weights.Multiply(current);
+    for (size_t i = 0; i < next.size(); ++i) next[i] += layers_[l].bias[i];
+    if (l + 1 < layers_.size()) {
+      for (double& v : next) v = std::max(0.0, v);  // ReLU
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+void Mlp::ForwardWithActivations(
+    const std::vector<double>& input,
+    std::vector<std::vector<double>>* activations) const {
+  activations->clear();
+  activations->push_back(input);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<double> next = layers_[l].weights.Multiply(activations->back());
+    for (size_t i = 0; i < next.size(); ++i) next[i] += layers_[l].bias[i];
+    if (l + 1 < layers_.size()) {
+      for (double& v : next) v = std::max(0.0, v);
+    }
+    activations->push_back(std::move(next));
+  }
+}
+
+std::vector<double> Mlp::PredictProba(const std::vector<double>& input) const {
+  return Softmax(Forward(input));
+}
+
+int Mlp::Predict(const std::vector<double>& input) const {
+  const std::vector<double> logits = Forward(input);
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  std::vector<double> probs(logits.size());
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - max_logit);
+    sum += probs[i];
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+}  // namespace chameleon::nn

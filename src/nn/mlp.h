@@ -1,0 +1,59 @@
+#ifndef CHAMELEON_NN_MLP_H_
+#define CHAMELEON_NN_MLP_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+#include "src/util/rng.h"
+
+namespace chameleon::nn {
+
+/// Fully-connected feed-forward network with ReLU hidden activations and
+/// a linear output layer. Stands in for the paper's Keras CNN in the
+/// proof-of-concept classifier and for the NIMA scoring network: both
+/// consume embedding/feature vectors, where a dense head is the
+/// appropriate architecture.
+class Mlp {
+ public:
+  struct Layer {
+    linalg::Matrix weights;    // (out x in)
+    std::vector<double> bias;  // (out)
+  };
+
+  /// `sizes` = {input, hidden..., output}; weights use He initialization.
+  Mlp(const std::vector<int>& sizes, util::Rng* rng);
+
+  int input_size() const { return sizes_.front(); }
+  int output_size() const { return sizes_.back(); }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::vector<Layer>& mutable_layers() { return layers_; }
+
+  /// Raw output (logits for classification, score for regression).
+  std::vector<double> Forward(const std::vector<double>& input) const;
+
+  /// Forward pass keeping post-activation values of every layer
+  /// (activations[0] = input, activations.back() = output); used by the
+  /// trainer's backward pass.
+  void ForwardWithActivations(
+      const std::vector<double>& input,
+      std::vector<std::vector<double>>* activations) const;
+
+  /// Softmax over Forward().
+  std::vector<double> PredictProba(const std::vector<double>& input) const;
+
+  /// argmax class.
+  int Predict(const std::vector<double>& input) const;
+
+ private:
+  std::vector<int> sizes_;
+  std::vector<Layer> layers_;
+};
+
+/// Numerically-stable softmax.
+std::vector<double> Softmax(const std::vector<double>& logits);
+
+}  // namespace chameleon::nn
+
+#endif  // CHAMELEON_NN_MLP_H_

@@ -1,0 +1,29 @@
+#ifndef CHAMELEON_STATS_SPECIAL_FUNCTIONS_H_
+#define CHAMELEON_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace chameleon::stats {
+
+/// ln Γ(x) for x > 0 (Lanczos approximation).
+double LogGamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0 and
+/// x in [0, 1], via the Lentz continued fraction.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Standard normal CDF (via erf).
+double NormalCdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined
+/// with one Newton step).
+double NormalQuantile(double p);
+
+/// Density of the generalized Gaussian distribution with shape alpha and
+/// scale beta at x (zero mean): used by the IQA feature fits.
+double GeneralizedGaussianRatio(double alpha);
+
+}  // namespace chameleon::stats
+
+#endif  // CHAMELEON_STATS_SPECIAL_FUNCTIONS_H_

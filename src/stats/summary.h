@@ -1,0 +1,51 @@
+#ifndef CHAMELEON_STATS_SUMMARY_H_
+#define CHAMELEON_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace chameleon::stats {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance; 0 for fewer than two values.
+double Variance(const std::vector<double>& values);
+
+/// sqrt(Variance).
+double StdDev(const std::vector<double>& values);
+
+/// q-th quantile (linear interpolation), q in [0,1]; copies & sorts.
+double Quantile(std::vector<double> values, double q);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two index sets (any order,
+/// duplicates ignored). Defined as 1 when both sets are empty.
+double JaccardSimilarity(const std::vector<int64_t>& a,
+                         const std::vector<int64_t>& b);
+
+}  // namespace chameleon::stats
+
+#endif  // CHAMELEON_STATS_SUMMARY_H_

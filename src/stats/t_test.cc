@@ -1,0 +1,44 @@
+#include "src/stats/t_test.h"
+
+#include <cmath>
+
+#include "src/stats/special_functions.h"
+#include "src/stats/summary.h"
+
+namespace chameleon::stats {
+
+TTestResult OneSampleTTestLower(const std::vector<double>& samples,
+                                double mu0) {
+  TTestResult result;
+  const int n = static_cast<int>(samples.size());
+  result.sample_mean = Mean(samples);
+  result.sample_stddev = StdDev(samples);
+  result.degrees_of_freedom = n > 1 ? n - 1 : 0;
+
+  if (n < 2) {
+    // Not enough evidence to reject anything.
+    result.p_value = 1.0;
+    return result;
+  }
+  if (result.sample_stddev < 1e-12) {
+    // Unanimous raters: reject iff the unanimous verdict is below mu0.
+    result.p_value = result.sample_mean < mu0 ? 0.0 : 1.0;
+    result.t_statistic =
+        result.sample_mean < mu0 ? -1e9 : (result.sample_mean > mu0 ? 1e9 : 0);
+    if (result.sample_mean == mu0) result.p_value = 1.0;
+    return result;
+  }
+
+  result.t_statistic = (result.sample_mean - mu0) /
+                       (result.sample_stddev / std::sqrt(static_cast<double>(n)));
+  result.p_value =
+      StudentTCdf(result.t_statistic, static_cast<double>(n - 1));
+  return result;
+}
+
+TTestResult OneSampleTTestLower(const std::vector<int>& labels, double mu0) {
+  std::vector<double> samples(labels.begin(), labels.end());
+  return OneSampleTTestLower(samples, mu0);
+}
+
+}  // namespace chameleon::stats

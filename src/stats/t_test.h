@@ -1,0 +1,35 @@
+#ifndef CHAMELEON_STATS_T_TEST_H_
+#define CHAMELEON_STATS_T_TEST_H_
+
+#include <vector>
+
+namespace chameleon::stats {
+
+/// Result of a one-sample lower-tail Student t-test (§3.2): tests
+/// H_null: p' = p against H_alt: p' < p given N Bernoulli evaluations of
+/// one generated tuple.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double p_value = 1.0;
+  double sample_mean = 0.0;
+  double sample_stddev = 0.0;
+  int degrees_of_freedom = 0;
+
+  /// True when the null hypothesis is rejected at significance alpha —
+  /// i.e. the tuple should be *discarded*.
+  bool Rejects(double alpha) const { return p_value < alpha; }
+};
+
+/// Lower-tail one-sample t-test of `samples` against population mean
+/// `mu0`. Degenerate inputs (fewer than 2 samples, zero variance) are
+/// resolved conservatively: zero variance yields p_value 0 or 1 depending
+/// on the sign of (mean - mu0); mean == mu0 yields p_value 1.
+TTestResult OneSampleTTestLower(const std::vector<double>& samples,
+                                double mu0);
+
+/// Convenience overload for 0/1 evaluator labels.
+TTestResult OneSampleTTestLower(const std::vector<int>& labels, double mu0);
+
+}  // namespace chameleon::stats
+
+#endif  // CHAMELEON_STATS_T_TEST_H_

@@ -1,0 +1,52 @@
+#include "src/svm/kernel.h"
+
+#include <cmath>
+
+#include "src/linalg/vector_ops.h"
+
+namespace chameleon::svm {
+
+const char* KernelTypeName(KernelType type) {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kRbf:
+      return "rbf";
+    case KernelType::kPolynomial:
+      return "poly";
+    case KernelType::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+double Kernel::Evaluate(const std::vector<double>& x,
+                        const std::vector<double>& y) const {
+  const double g = gamma > 0.0 ? gamma : 1.0 / static_cast<double>(x.size());
+  switch (type) {
+    case KernelType::kLinear:
+      return linalg::Dot(x, y);
+    case KernelType::kRbf:
+      return std::exp(-g * linalg::SquaredDistance(x, y));
+    case KernelType::kPolynomial:
+      return std::pow(g * linalg::Dot(x, y) + coef0, degree);
+    case KernelType::kSigmoid:
+      return std::tanh(g * linalg::Dot(x, y) + coef0);
+  }
+  return 0.0;
+}
+
+std::string Kernel::ToString() const {
+  std::string out = KernelTypeName(type);
+  out += "(gamma=" + std::to_string(gamma);
+  if (type == KernelType::kPolynomial) {
+    out += ", degree=" + std::to_string(degree);
+  }
+  if (type == KernelType::kPolynomial || type == KernelType::kSigmoid) {
+    out += ", coef0=" + std::to_string(coef0);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace chameleon::svm

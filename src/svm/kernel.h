@@ -1,0 +1,52 @@
+#ifndef CHAMELEON_SVM_KERNEL_H_
+#define CHAMELEON_SVM_KERNEL_H_
+
+#include <string>
+#include <vector>
+
+namespace chameleon::svm {
+
+/// Kernel families supported by the one-class SVM. The paper's data
+/// distribution test evaluates Linear and RBF (Table 4).
+enum class KernelType {
+  kLinear,
+  kRbf,
+  kPolynomial,
+  kSigmoid,
+};
+
+const char* KernelTypeName(KernelType type);
+
+/// A kernel function k(x, y) with its hyper-parameters.
+struct Kernel {
+  KernelType type = KernelType::kRbf;
+  /// RBF: k = exp(-gamma * |x-y|^2); poly/sigmoid scale. If <= 0, defaults
+  /// to 1/dim at evaluation time.
+  double gamma = -1.0;
+  /// Polynomial/sigmoid offset.
+  double coef0 = 0.0;
+  /// Polynomial degree.
+  int degree = 3;
+
+  static Kernel Linear() { return Kernel{KernelType::kLinear, 0, 0, 0}; }
+  static Kernel Rbf(double gamma = -1.0) {
+    return Kernel{KernelType::kRbf, gamma, 0, 0};
+  }
+  static Kernel Polynomial(int degree, double gamma = -1.0,
+                           double coef0 = 1.0) {
+    return Kernel{KernelType::kPolynomial, gamma, coef0, degree};
+  }
+  static Kernel Sigmoid(double gamma = -1.0, double coef0 = 0.0) {
+    return Kernel{KernelType::kSigmoid, gamma, coef0, 0};
+  }
+
+  /// k(x, y). Vectors must have equal, non-zero length.
+  double Evaluate(const std::vector<double>& x,
+                  const std::vector<double>& y) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace chameleon::svm
+
+#endif  // CHAMELEON_SVM_KERNEL_H_

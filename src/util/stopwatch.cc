@@ -1,0 +1,14 @@
+#include "src/util/stopwatch.h"
+
+namespace chameleon::util {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+}  // namespace chameleon::util

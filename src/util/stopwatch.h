@@ -1,0 +1,28 @@
+#ifndef CHAMELEON_UTIL_STOPWATCH_H_
+#define CHAMELEON_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace chameleon::util {
+
+/// Wall-clock timer for benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace chameleon::util
+
+#endif  // CHAMELEON_UTIL_STOPWATCH_H_

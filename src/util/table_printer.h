@@ -1,0 +1,52 @@
+#ifndef CHAMELEON_UTIL_TABLE_PRINTER_H_
+#define CHAMELEON_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chameleon::util {
+
+/// Renders aligned ASCII tables for benchmark output, e.g.
+///
+///   +---------+-------+
+///   | group   | f1    |
+///   +---------+-------+
+///   | Black   | 0.16  |
+///   +---------+-------+
+///
+/// Cells are strings; Fmt() helpers convert numbers.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Writes the table to the given stream.
+  void Print(std::ostream& os) const;
+
+  /// Emits rows as CSV (header first).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string Fmt(double value, int decimals = 2);
+
+/// Formats an integer.
+std::string Fmt(int64_t value);
+std::string Fmt(size_t value);
+std::string Fmt(int value);
+
+}  // namespace chameleon::util
+
+#endif  // CHAMELEON_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,129 @@
+#include "gtest/gtest.h"
+#include "src/bandit/epsilon_greedy.h"
+#include "src/bandit/linucb.h"
+#include "src/util/rng.h"
+
+namespace chameleon::bandit {
+namespace {
+
+TEST(LinUcbTest, OneHotContext) {
+  const auto context = LinUcb::OneHotContext(4, 2);
+  EXPECT_EQ(context, (std::vector<double>{0, 0, 1, 0}));
+  // Out of range -> all zero.
+  EXPECT_EQ(LinUcb::OneHotContext(3, 9), (std::vector<double>{0, 0, 0}));
+}
+
+TEST(LinUcbTest, InitialEstimatesAreZeroWithPositiveExploration) {
+  LinUcb bandit(3, 4, 0.5);
+  const auto context = LinUcb::OneHotContext(4, 1);
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_DOUBLE_EQ(bandit.EstimatedReward(a, context), 0.0);
+    EXPECT_NEAR(bandit.UpperConfidenceBound(a, context), 0.5, 1e-12);
+  }
+}
+
+TEST(LinUcbTest, UpdateValidatesArguments) {
+  LinUcb bandit(2, 3, 0.5);
+  const auto context = LinUcb::OneHotContext(3, 0);
+  EXPECT_FALSE(bandit.Update(-1, context, 1.0).ok());
+  EXPECT_FALSE(bandit.Update(2, context, 1.0).ok());
+  EXPECT_FALSE(bandit.Update(0, {1.0, 0.0}, 1.0).ok());
+  EXPECT_TRUE(bandit.Update(0, context, 1.0).ok());
+  EXPECT_EQ(bandit.pull_count(0), 1);
+  EXPECT_EQ(bandit.total_pulls(), 1);
+}
+
+TEST(LinUcbTest, RewardedArmGainsEstimate) {
+  LinUcb bandit(2, 2, 0.1);
+  const auto context = LinUcb::OneHotContext(2, 0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bandit.Update(0, context, 1.0).ok());
+    ASSERT_TRUE(bandit.Update(1, context, 0.0).ok());
+  }
+  EXPECT_GT(bandit.EstimatedReward(0, context), 0.8);
+  EXPECT_LT(bandit.EstimatedReward(1, context), 0.1);
+  EXPECT_EQ(bandit.SelectArm(context), 0);
+}
+
+TEST(LinUcbTest, ExplorationShrinksWithPulls) {
+  LinUcb bandit(1, 2, 1.0);
+  const auto context = LinUcb::OneHotContext(2, 0);
+  const double before = bandit.UpperConfidenceBound(0, context) -
+                        bandit.EstimatedReward(0, context);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(bandit.Update(0, context, 0.5).ok());
+  }
+  const double after = bandit.UpperConfidenceBound(0, context) -
+                       bandit.EstimatedReward(0, context);
+  EXPECT_LT(after, before);
+}
+
+TEST(LinUcbTest, ContextsAreDisjointAcrossCombinations) {
+  // Rewards observed under context 0 must not leak into context 1.
+  LinUcb bandit(1, 2, 0.0);
+  const auto c0 = LinUcb::OneHotContext(2, 0);
+  const auto c1 = LinUcb::OneHotContext(2, 1);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(bandit.Update(0, c0, 1.0).ok());
+  EXPECT_GT(bandit.EstimatedReward(0, c0), 0.9);
+  EXPECT_NEAR(bandit.EstimatedReward(0, c1), 0.0, 1e-9);
+}
+
+TEST(LinUcbTest, LearnsBestArmPerContext) {
+  // Arm 0 pays in context 0, arm 1 pays in context 1.
+  LinUcb bandit(2, 2, 0.5);
+  util::Rng rng(7);
+  for (int step = 0; step < 400; ++step) {
+    const int64_t ctx_index = rng.NextBounded(2);
+    const auto context = LinUcb::OneHotContext(2, ctx_index);
+    const int arm = bandit.SelectArm(context, &rng);
+    const double pay_prob =
+        (arm == static_cast<int>(ctx_index)) ? 0.9 : 0.2;
+    ASSERT_TRUE(
+        bandit.Update(arm, context, rng.NextBernoulli(pay_prob)).ok());
+  }
+  EXPECT_EQ(bandit.SelectArm(LinUcb::OneHotContext(2, 0)), 0);
+  EXPECT_EQ(bandit.SelectArm(LinUcb::OneHotContext(2, 1)), 1);
+}
+
+TEST(EpsilonGreedyTest, TriesEveryArmFirst) {
+  EpsilonGreedy bandit(3, 0.1);
+  util::Rng rng(1);
+  std::vector<bool> pulled(3, false);
+  for (int i = 0; i < 3; ++i) {
+    const int arm = bandit.SelectArm(&rng);
+    EXPECT_FALSE(pulled[arm]);
+    pulled[arm] = true;
+    bandit.Update(arm, 0.0);
+  }
+}
+
+TEST(EpsilonGreedyTest, ExploitsBestArm) {
+  EpsilonGreedy bandit(3, 0.0);  // pure exploitation after warmup
+  util::Rng rng(2);
+  for (int a = 0; a < 3; ++a) {
+    bandit.SelectArm(&rng);
+    bandit.Update(a, a == 1 ? 1.0 : 0.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const int arm = bandit.SelectArm(&rng);
+    EXPECT_EQ(arm, 1);
+    bandit.Update(arm, 1.0);
+  }
+  EXPECT_GT(bandit.MeanReward(1), 0.9);
+}
+
+TEST(EpsilonGreedyTest, EpsilonOneIsUniform) {
+  EpsilonGreedy bandit(4, 1.0);
+  util::Rng rng(3);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    const int arm = bandit.SelectArm(&rng);
+    ++counts[arm];
+    bandit.Update(arm, arm == 0 ? 1.0 : 0.0);
+  }
+  // Despite arm 0 being best, epsilon=1 keeps exploring all arms.
+  for (int a = 0; a < 4; ++a) EXPECT_GT(counts[a], 600);
+}
+
+}  // namespace
+}  // namespace chameleon::bandit

@@ -1,0 +1,215 @@
+// Integration tests: the full Chameleon repair pipeline over simulated
+// corpora, foundation model, embedder and evaluators.
+
+#include "gtest/gtest.h"
+#include "src/core/chameleon.h"
+#include "src/coverage/mup_finder.h"
+#include "src/coverage/pattern_counter.h"
+#include "src/datasets/feret.h"
+#include "src/datasets/utkface.h"
+#include "src/embedding/simulated_embedder.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/simulated_foundation_model.h"
+
+namespace chameleon::core {
+namespace {
+
+class ChameleonFeretTest : public ::testing::Test {
+ protected:
+  ChameleonFeretTest()
+      : embedder_(),
+        evaluators_(2024),
+        corpus_(*datasets::MakeFeret(&embedder_, datasets::FeretOptions())),
+        model_(corpus_.dataset.schema(), datasets::FeretFaceStyleFn(),
+               datasets::FeretScene(),
+               fm::SimulatedFoundationModel::Options()) {}
+
+  std::vector<coverage::Mup> CurrentMups(int64_t tau) const {
+    const auto counter =
+        coverage::PatternCounter::FromDataset(corpus_.dataset);
+    coverage::MupFinder finder(corpus_.dataset.schema(), counter);
+    coverage::MupFinderOptions options;
+    options.tau = tau;
+    return finder.FindMups(options);
+  }
+
+  embedding::SimulatedEmbedder embedder_;
+  fm::EvaluatorPool evaluators_;
+  fm::Corpus corpus_;
+  fm::SimulatedFoundationModel model_;
+};
+
+TEST_F(ChameleonFeretTest, NoOpWhenAlreadyCovered) {
+  ChameleonOptions options;
+  options.tau = 1;  // everything covered
+  Chameleon system(&model_, &embedder_, &evaluators_, options);
+  auto report = system.RepairMinLevelMups(&corpus_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->fully_resolved);
+  EXPECT_EQ(report->queries, 0);
+  EXPECT_TRUE(report->initial_mups.empty());
+  EXPECT_EQ(corpus_.dataset.NumSynthetic(), 0);
+}
+
+TEST_F(ChameleonFeretTest, RepairsLevel1MupsEndToEnd) {
+  constexpr int64_t kTau = 40;
+  const size_t before_size = corpus_.dataset.size();
+  ASSERT_FALSE(CurrentMups(kTau).empty());
+
+  ChameleonOptions options;
+  options.tau = kTau;
+  options.guide_strategy = GuideStrategy::kLinUcb;
+  options.mask_level = image::MaskLevel::kModerate;
+  options.seed = 11;
+  Chameleon system(&model_, &embedder_, &evaluators_, options);
+  auto report = system.RepairMinLevelMups(&corpus_);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_TRUE(report->fully_resolved);
+  EXPECT_GT(report->accepted, 0);
+  EXPECT_GE(report->queries, report->accepted);
+  EXPECT_EQ(report->accepted,
+            static_cast<int64_t>(corpus_.dataset.size() - before_size));
+  EXPECT_EQ(corpus_.dataset.NumSynthetic(), report->accepted);
+  EXPECT_NEAR(report->estimated_p, 0.86, 0.05);
+  EXPECT_NEAR(report->total_cost, report->queries * model_.query_cost(),
+              1e-9);
+
+  // The smallest-level MUPs must be gone (level-1 at this tau); any
+  // remaining MUPs must sit deeper in the lattice.
+  for (const auto& m : CurrentMups(kTau)) {
+    EXPECT_GT(m.Level(), 1);
+  }
+
+  // The plan total matches the accepted tuple count for a full repair.
+  EXPECT_EQ(PlanTotal(report->plan), report->accepted);
+
+  // Records cover every query, and every accepted record passed both.
+  EXPECT_EQ(static_cast<int64_t>(report->records.size()), report->queries);
+  int64_t accepted_records = 0;
+  for (const auto& r : report->records) {
+    if (r.accepted) {
+      ++accepted_records;
+      EXPECT_TRUE(r.distribution_pass);
+      EXPECT_TRUE(r.quality_pass);
+    }
+  }
+  EXPECT_EQ(accepted_records, report->accepted);
+}
+
+TEST_F(ChameleonFeretTest, SyntheticTuplesMatchTheirTargets) {
+  ChameleonOptions options;
+  options.tau = 30;
+  options.seed = 13;
+  Chameleon system(&model_, &embedder_, &evaluators_, options);
+  auto report = system.RepairMinLevelMups(&corpus_);
+  ASSERT_TRUE(report.ok());
+  for (const auto& t : corpus_.dataset.tuples()) {
+    if (!t.synthetic) continue;
+    EXPECT_FALSE(t.embedding.empty());
+    ASSERT_GE(t.payload_id, 0);
+    ASSERT_LT(t.payload_id, static_cast<int64_t>(corpus_.images.size()));
+    // Its values must match some planned combination.
+    bool planned = false;
+    for (const auto& entry : report->plan) {
+      planned |= entry.values == t.values;
+    }
+    EXPECT_TRUE(planned);
+  }
+}
+
+TEST_F(ChameleonFeretTest, QueryCapStopsTheLoop) {
+  ChameleonOptions options;
+  options.tau = 100;
+  options.max_queries = 25;
+  options.seed = 17;
+  Chameleon system(&model_, &embedder_, &evaluators_, options);
+  auto report = system.RepairMinLevelMups(&corpus_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->queries, 25);
+  EXPECT_FALSE(report->fully_resolved);
+}
+
+TEST_F(ChameleonFeretTest, AcceptanceCountersAreConsistent) {
+  ChameleonOptions options;
+  options.tau = 40;
+  options.seed = 19;
+  Chameleon system(&model_, &embedder_, &evaluators_, options);
+  auto report = system.RepairMinLevelMups(&corpus_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->accepted, report->distribution_passes);
+  EXPECT_LE(report->accepted, report->quality_passes);
+  EXPECT_LE(report->distribution_passes, report->queries);
+  EXPECT_LE(report->quality_passes, report->queries);
+  EXPECT_GT(report->DistributionAcceptanceRate(), 0.2);
+  EXPECT_GT(report->QualityAcceptanceRate(), 0.5);
+}
+
+TEST_F(ChameleonFeretTest, NoGuideStrategyAlsoRepairs) {
+  ChameleonOptions options;
+  options.tau = 30;
+  options.guide_strategy = GuideStrategy::kNoGuide;
+  options.seed = 23;
+  options.max_queries = 20000;
+  Chameleon system(&model_, &embedder_, &evaluators_, options);
+  auto report = system.RepairMinLevelMups(&corpus_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->accepted, 0);
+  for (const auto& r : report->records) EXPECT_EQ(r.arm, -1);
+}
+
+TEST(ChameleonChallengeTest, ResolvesDesignedLevel3Mups) {
+  const embedding::SimulatedEmbedder embedder;
+  datasets::ChallengeOptions challenge;
+  auto corpus = datasets::MakeUtkFaceChallengeSubset(&embedder, challenge);
+  ASSERT_TRUE(corpus.ok());
+  fm::SimulatedFoundationModel model(corpus->dataset.schema(),
+                                     datasets::UtkFaceStyleFn(),
+                                     datasets::UtkFaceScene(),
+                                     fm::SimulatedFoundationModel::Options());
+  const fm::EvaluatorPool evaluators(2024);
+  ChameleonOptions options;
+  options.tau = 10;
+  options.guide_strategy = GuideStrategy::kSimilarTuple;
+  options.mask_level = image::MaskLevel::kModerate;
+  options.seed = 29;
+  Chameleon system(&model, &embedder, &evaluators, options);
+  auto report = system.RepairMinLevelMups(&*corpus);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->initial_mups.size(), 16u);
+  EXPECT_TRUE(report->fully_resolved);
+
+  const auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  coverage::MupFinder finder(corpus->dataset.schema(), counter);
+  coverage::MupFinderOptions mup_options;
+  mup_options.tau = 10;
+  EXPECT_TRUE(finder.FindMups(mup_options).empty());
+}
+
+
+TEST_F(ChameleonFeretTest, IterativeRepairWorksDownTheLattice) {
+  // §4's iterative scheme: each RepairMinLevelMups round resolves the
+  // smallest-level MUPs; repeating drains the whole lattice.
+  constexpr int64_t kTau = 25;
+  ChameleonOptions options;
+  options.tau = kTau;
+  options.seed = 31;
+  Chameleon system(&model_, &embedder_, &evaluators_, options);
+
+  int previous_min_level = -1;
+  for (int round = 0; round < 4; ++round) {
+    auto report = system.RepairMinLevelMups(&corpus_);
+    ASSERT_TRUE(report.ok());
+    if (report->initial_mups.empty()) break;
+    const int level = report->initial_mups[0].Level();
+    EXPECT_GT(level, previous_min_level)
+        << "each round must target a deeper (or done) level";
+    previous_min_level = level;
+    EXPECT_TRUE(report->fully_resolved);
+  }
+  EXPECT_TRUE(CurrentMups(kTau).empty())
+      << "lattice should be fully covered after iterating";
+}
+
+}  // namespace
+}  // namespace chameleon::core

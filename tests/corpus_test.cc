@@ -1,0 +1,77 @@
+// Tests for the fm::Corpus container (tuple/payload wiring and the
+// helper views the pipeline depends on).
+
+#include "gtest/gtest.h"
+#include "src/datasets/feret.h"
+#include "src/fm/corpus.h"
+
+namespace chameleon::fm {
+namespace {
+
+data::Tuple MakeTuple(int gender, int ethnicity) {
+  data::Tuple tuple;
+  tuple.values = {gender, ethnicity};
+  return tuple;
+}
+
+TEST(CorpusTest, AddWiresPayloadIds) {
+  Corpus corpus;
+  corpus.dataset = data::Dataset(datasets::FeretSchema());
+  ASSERT_TRUE(
+      corpus.Add(MakeTuple(0, 0), image::Image(4, 4, 3), 0.9).ok());
+  ASSERT_TRUE(
+      corpus.Add(MakeTuple(1, 1), image::Image(4, 4, 3), 0.8).ok());
+  EXPECT_EQ(corpus.dataset.tuple(0).payload_id, 0);
+  EXPECT_EQ(corpus.dataset.tuple(1).payload_id, 1);
+  EXPECT_EQ(corpus.images.size(), 2u);
+  EXPECT_EQ(corpus.realism.size(), 2u);
+  EXPECT_DOUBLE_EQ(corpus.realism[1], 0.8);
+}
+
+TEST(CorpusTest, AddRejectsInvalidTuples) {
+  Corpus corpus;
+  corpus.dataset = data::Dataset(datasets::FeretSchema());
+  EXPECT_FALSE(
+      corpus.Add(MakeTuple(0, 99), image::Image(4, 4, 3), 0.9).ok());
+  // The failed add must not leave an orphaned payload.
+  EXPECT_TRUE(corpus.images.empty());
+}
+
+TEST(CorpusTest, AnnotationOnlyHasNoPayload) {
+  Corpus corpus;
+  corpus.dataset = data::Dataset(datasets::FeretSchema());
+  ASSERT_TRUE(corpus.AddAnnotationOnly(MakeTuple(0, 1)).ok());
+  EXPECT_EQ(corpus.dataset.tuple(0).payload_id, -1);
+  EXPECT_TRUE(corpus.images.empty());
+}
+
+TEST(CorpusTest, RealTupleRealismSkipsSynthetic) {
+  Corpus corpus;
+  corpus.dataset = data::Dataset(datasets::FeretSchema());
+  ASSERT_TRUE(
+      corpus.Add(MakeTuple(0, 0), image::Image(4, 4, 3), 0.9).ok());
+  data::Tuple synthetic = MakeTuple(0, 1);
+  synthetic.synthetic = true;
+  ASSERT_TRUE(
+      corpus.Add(std::move(synthetic), image::Image(4, 4, 3), 0.5).ok());
+  ASSERT_TRUE(corpus.AddAnnotationOnly(MakeTuple(1, 0)).ok());
+
+  const auto realism = corpus.RealTupleRealism();
+  ASSERT_EQ(realism.size(), 1u);
+  EXPECT_DOUBLE_EQ(realism[0], 0.9);
+}
+
+TEST(CorpusTest, EmbeddingsViewSkipsMissing) {
+  Corpus corpus;
+  corpus.dataset = data::Dataset(datasets::FeretSchema());
+  data::Tuple with = MakeTuple(0, 0);
+  with.embedding = {1.0, 2.0};
+  ASSERT_TRUE(corpus.AddAnnotationOnly(std::move(with)).ok());
+  ASSERT_TRUE(corpus.AddAnnotationOnly(MakeTuple(1, 1)).ok());
+  const auto embeddings = corpus.Embeddings();
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(embeddings[0], (std::vector<double>{1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace chameleon::fm

@@ -1,0 +1,230 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "src/coverage/mup_finder.h"
+#include "src/coverage/pattern_counter.h"
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace chameleon::coverage {
+namespace {
+
+data::AttributeSchema BinarySchema(int d) {
+  data::AttributeSchema schema;
+  for (int i = 0; i < d; ++i) {
+    EXPECT_TRUE(
+        schema.AddAttribute({"x" + std::to_string(i), {"0", "1"}, false})
+            .ok());
+  }
+  return schema;
+}
+
+data::Dataset RandomDataset(const data::AttributeSchema& schema, int n,
+                            uint64_t seed) {
+  data::Dataset dataset(schema);
+  util::Rng rng(seed);
+  for (int t = 0; t < n; ++t) {
+    data::Tuple tuple;
+    tuple.values.resize(schema.num_attributes());
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      tuple.values[i] = rng.NextBernoulli(0.2 + 0.15 * i);
+    }
+    EXPECT_TRUE(dataset.Add(std::move(tuple)).ok());
+  }
+  return dataset;
+}
+
+TEST(PatternCounterTest, MatchesLinearScan) {
+  const auto schema = BinarySchema(4);
+  const auto dataset = RandomDataset(schema, 500, 3);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  EXPECT_EQ(counter.num_tuples(), 500);
+
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    data::Pattern pattern(4);
+    for (int i = 0; i < 4; ++i) {
+      const int choice = static_cast<int>(rng.NextBounded(3));
+      if (choice < 2) pattern = pattern.WithCell(i, choice);
+    }
+    EXPECT_EQ(counter.Count(pattern), dataset.CountMatching(pattern))
+        << pattern.ToString();
+  }
+}
+
+TEST(PatternCounterTest, MatchingReturnsSortedIds) {
+  const auto schema = BinarySchema(3);
+  const auto dataset = RandomDataset(schema, 100, 9);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  const data::Pattern pattern({1, data::Pattern::kUnspecified,
+                               data::Pattern::kUnspecified});
+  const auto ids = counter.Matching(pattern);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(static_cast<int64_t>(ids.size()), counter.Count(pattern));
+  for (int64_t id : ids) {
+    EXPECT_TRUE(pattern.Matches(dataset.tuple(id).values));
+  }
+}
+
+TEST(PatternCounterTest, IncrementalAddKeepsCountsInSync) {
+  const auto schema = BinarySchema(2);
+  PatternCounter counter(schema);
+  EXPECT_EQ(counter.Count(data::Pattern(2)), 0);
+  counter.AddTuple({0, 1});
+  counter.AddTuple({0, 1});
+  counter.AddTuple({1, 0});
+  EXPECT_EQ(counter.Count(data::Pattern({0, 1})), 2);
+  EXPECT_EQ(counter.Count(data::Pattern({0, data::Pattern::kUnspecified})),
+            2);
+  EXPECT_EQ(counter.Count(data::Pattern(2)), 3);
+}
+
+TEST(MupFinderTest, EmptyWhenFullyCovered) {
+  const auto schema = BinarySchema(2);
+  data::Dataset dataset(schema);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int i = 0; i < 5; ++i) {
+        data::Tuple t;
+        t.values = {a, b};
+        ASSERT_TRUE(dataset.Add(t).ok());
+      }
+    }
+  }
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 5;
+  EXPECT_TRUE(finder.FindMups(options).empty());
+}
+
+TEST(MupFinderTest, RootIsMupWhenDatasetTooSmall) {
+  const auto schema = BinarySchema(2);
+  data::Dataset dataset(schema);
+  data::Tuple t;
+  t.values = {0, 0};
+  ASSERT_TRUE(dataset.Add(t).ok());
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 10;
+  const auto mups = finder.FindMups(options);
+  ASSERT_EQ(mups.size(), 1u);
+  EXPECT_EQ(mups[0].Level(), 0);
+  EXPECT_EQ(mups[0].gap, 9);
+}
+
+TEST(MupFinderTest, FindsDesignedMup) {
+  // x0=1 & x1=1 is rare; every other combination is plentiful.
+  const auto schema = BinarySchema(2);
+  data::Dataset dataset(schema);
+  auto add = [&](int a, int b, int times) {
+    for (int i = 0; i < times; ++i) {
+      data::Tuple t;
+      t.values = {a, b};
+      ASSERT_TRUE(dataset.Add(t).ok());
+    }
+  };
+  add(0, 0, 20);
+  add(0, 1, 20);
+  add(1, 0, 20);
+  add(1, 1, 2);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 10;
+  const auto mups = finder.FindMups(options);
+  ASSERT_EQ(mups.size(), 1u);
+  EXPECT_EQ(mups[0].pattern, data::Pattern({1, 1}));
+  EXPECT_EQ(mups[0].count, 2);
+  EXPECT_EQ(mups[0].gap, 8);
+}
+
+TEST(MupFinderTest, MupPropertiesHold) {
+  // Every reported MUP must be uncovered with all parents covered.
+  const auto schema = BinarySchema(5);
+  const auto dataset = RandomDataset(schema, 2000, 21);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 60;
+  const auto mups = finder.FindMups(options);
+  EXPECT_FALSE(mups.empty());
+  for (const auto& m : mups) {
+    EXPECT_LT(m.count, options.tau);
+    EXPECT_EQ(m.gap, options.tau - m.count);
+    for (const auto& parent : m.pattern.Parents()) {
+      EXPECT_GE(counter.Count(parent), options.tau)
+          << "uncovered parent of " << m.pattern.ToString();
+    }
+  }
+}
+
+TEST(MupFinderTest, MaxLevelRestrictsOutput) {
+  const auto schema = BinarySchema(5);
+  const auto dataset = RandomDataset(schema, 2000, 21);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 60;
+  options.max_level = 2;
+  for (const auto& m : finder.FindMups(options)) {
+    EXPECT_LE(m.Level(), 2);
+  }
+}
+
+TEST(MupFinderTest, MinLevelFilter) {
+  std::vector<Mup> mups;
+  mups.push_back({data::Pattern({0, data::Pattern::kUnspecified}), 1, 2});
+  mups.push_back({data::Pattern({0, 1}), 1, 2});
+  const auto filtered = MupFinder::MinLevel(mups);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].Level(), 1);
+  EXPECT_TRUE(MupFinder::MinLevel({}).empty());
+}
+
+// Property check: lattice BFS agrees with the naive oracle across random
+// data sets and thresholds.
+class MupAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MupAgreementTest, LatticeMatchesNaive) {
+  const uint64_t seed = GetParam();
+  const int d = 3 + static_cast<int>(seed % 3);
+  const auto schema = BinarySchema(d);
+  const auto dataset = RandomDataset(schema, 800, seed);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 20 + static_cast<int64_t>(seed % 5) * 40;
+
+  const auto fast = finder.FindMups(options);
+  const auto naive = finder.FindMupsNaive(options);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].pattern, naive[i].pattern);
+    EXPECT_EQ(fast[i].count, naive[i].count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MupAgreementTest,
+                         ::testing::Range(1, 13));
+
+
+TEST(MupFinderTest, LatticeIssuesFewerCountsThanFullMaterialization) {
+  // The efficiency claim behind the BFS: covered-node expansion prunes
+  // whole sublattices the naive algorithm would count.
+  const auto schema = BinarySchema(7);
+  const auto dataset = RandomDataset(schema, 4000, 5);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 2000;  // high threshold -> shallow uncovered frontier
+  (void)finder.FindMups(options);
+  const int64_t lattice_queries = finder.last_count_queries();
+  // Full lattice size for 7 binary attributes: 3^7 = 2187 patterns.
+  EXPECT_LT(lattice_queries, 2187);
+  EXPECT_GT(lattice_queries, 0);
+}
+
+}  // namespace
+}  // namespace chameleon::coverage

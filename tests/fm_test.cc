@@ -1,0 +1,292 @@
+#include "gtest/gtest.h"
+#include "src/fm/corpus_io.h"
+#include "src/datasets/feret.h"
+#include "src/datasets/utkface.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/foundation_model.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/image/mask_generator.h"
+#include "src/stats/summary.h"
+#include "src/util/rng.h"
+
+namespace chameleon::fm {
+namespace {
+
+TEST(EvaluatorPoolTest, LabelProbabilityMonotoneInRealism) {
+  const EvaluatorPool pool(1);
+  for (int e = 0; e < pool.num_evaluators(); ++e) {
+    EXPECT_LT(pool.LabelProbability(0.3, e), pool.LabelProbability(0.9, e));
+    EXPECT_LT(pool.LabelProbability(0.9, e), pool.LabelProbability(1.2, e));
+  }
+}
+
+TEST(EvaluatorPoolTest, EvaluateReturnsBinaryLabels) {
+  const EvaluatorPool pool(1);
+  util::Rng rng(2);
+  const auto labels = pool.Evaluate(0.9, 20, &rng);
+  EXPECT_EQ(labels.size(), 20u);
+  for (int label : labels) EXPECT_TRUE(label == 0 || label == 1);
+}
+
+TEST(EvaluatorPoolTest, RealPhotoLabelRateNearPaperValue) {
+  // The paper measures p ~ 0.86 for real UTKFace images; the simulator is
+  // calibrated to land in that neighbourhood for realism ~ N(0.92, 0.04).
+  const EvaluatorPool pool(3);
+  util::Rng rng(4);
+  std::vector<double> realism;
+  for (int i = 0; i < 500; ++i) realism.push_back(rng.NextGaussian(0.92, 0.04));
+  const double p = pool.EstimateRealLabelRate(realism, 20000, &rng);
+  EXPECT_NEAR(p, 0.86, 0.04);
+}
+
+TEST(EvaluatorPoolTest, DegenerateEstimation) {
+  const EvaluatorPool pool(3);
+  util::Rng rng(4);
+  EXPECT_EQ(pool.EstimateRealLabelRate({}, 100, &rng), 0.0);
+  EXPECT_EQ(pool.EstimateRealLabelRate({0.9}, 0, &rng), 0.0);
+}
+
+TEST(BuildPromptTest, MentionsAttributeValues) {
+  const auto schema = datasets::FeretSchema();
+  const std::string prompt = BuildPrompt(schema, {1, datasets::kFeretBlack});
+  EXPECT_NE(prompt.find("gender=Female"), std::string::npos);
+  EXPECT_NE(prompt.find("ethnicity=Black"), std::string::npos);
+}
+
+class SimulatedFmTest : public ::testing::Test {
+ protected:
+  SimulatedFmTest()
+      : schema_(datasets::FeretSchema()),
+        model_(schema_, datasets::FeretFaceStyleFn(), datasets::FeretScene(),
+               SimulatedFoundationModel::Options()) {}
+
+  image::Image MakeGuide(const std::vector<int>& values, util::Rng* rng) {
+    const image::FaceStyle style = datasets::FeretFaceStyleFn()(values, rng);
+    image::RenderOptions render;
+    render.size = 64;
+    return image::RenderFace(style, datasets::FeretScene(), render, rng);
+  }
+
+  data::AttributeSchema schema_;
+  SimulatedFoundationModel model_;
+};
+
+TEST_F(SimulatedFmTest, ValidatesRequests) {
+  util::Rng rng(1);
+  GenerationRequest bad_target;
+  bad_target.target_values = {0, 99};
+  EXPECT_FALSE(model_.Generate(bad_target, &rng).ok());
+
+  // Guided request without mask/guide_values.
+  const std::vector<int> guide_values = {0, 0};
+  const image::Image guide = MakeGuide(guide_values, &rng);
+  GenerationRequest incomplete;
+  incomplete.target_values = {0, 1};
+  incomplete.guide = &guide;
+  EXPECT_FALSE(model_.Generate(incomplete, &rng).ok());
+}
+
+TEST_F(SimulatedFmTest, CountsQueriesAndCost) {
+  util::Rng rng(2);
+  GenerationRequest request;
+  request.target_values = {0, 1};
+  EXPECT_EQ(model_.num_queries(), 0);
+  ASSERT_TRUE(model_.Generate(request, &rng).ok());
+  ASSERT_TRUE(model_.Generate(request, &rng).ok());
+  EXPECT_EQ(model_.num_queries(), 2);
+  EXPECT_NEAR(model_.total_cost(), 2 * 0.016, 1e-12);
+}
+
+TEST_F(SimulatedFmTest, UnguidedGenerationProducesImage) {
+  util::Rng rng(3);
+  GenerationRequest request;
+  request.target_values = {1, datasets::kFeretMiddleEastern};
+  auto result = model_.Generate(request, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->image.width(), 64);
+  EXPECT_EQ(result->values, request.target_values);
+  EXPECT_GT(result->latent_realism, 0.7);
+}
+
+TEST_F(SimulatedFmTest, GuidedGenerationKeepsUnmaskedPixels) {
+  util::Rng rng(4);
+  const std::vector<int> guide_values = {0, datasets::kFeretWhite};
+  const image::Image guide = MakeGuide(guide_values, &rng);
+  const image::Image mask =
+      image::GenerateMask(guide, image::MaskLevel::kAccurate);
+  GenerationRequest request;
+  request.target_values = {0, datasets::kFeretBlack};
+  request.guide = &guide;
+  request.guide_values = &guide_values;
+  request.mask = &mask;
+  auto result = model_.Generate(request, &rng);
+  ASSERT_TRUE(result.ok());
+  for (int y = 0; y < guide.height(); ++y) {
+    for (int x = 0; x < guide.width(); ++x) {
+      if (mask.at(x, y, 0) == 0) {
+        for (int c = 0; c < 3; ++c) {
+          ASSERT_EQ(result->image.at(x, y, c), guide.at(x, y, c))
+              << "unmasked pixel changed at " << x << "," << y;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimulatedFmTest, TighterMasksCostRealism) {
+  util::Rng rng(5);
+  stats::RunningStats accurate_realism;
+  stats::RunningStats imprecise_realism;
+  const std::vector<int> guide_values = {0, datasets::kFeretWhite};
+  for (int i = 0; i < 60; ++i) {
+    const image::Image guide = MakeGuide(guide_values, &rng);
+    GenerationRequest request;
+    request.target_values = {0, datasets::kFeretAsian};
+    request.guide = &guide;
+    request.guide_values = &guide_values;
+    const image::Image tight =
+        image::GenerateMask(guide, image::MaskLevel::kAccurate);
+    request.mask = &tight;
+    accurate_realism.Add(model_.Generate(request, &rng)->latent_realism);
+    const image::Image loose =
+        image::GenerateMask(guide, image::MaskLevel::kImprecise);
+    request.mask = &loose;
+    imprecise_realism.Add(model_.Generate(request, &rng)->latent_realism);
+  }
+  EXPECT_GT(imprecise_realism.mean(), accurate_realism.mean());
+}
+
+TEST_F(SimulatedFmTest, MoreEditsCostMoreRealism) {
+  util::Rng rng(6);
+  stats::RunningStats zero_edit;
+  stats::RunningStats two_edit;
+  const std::vector<int> same = {0, datasets::kFeretAsian};
+  const std::vector<int> far = {1, datasets::kFeretWhite};
+  for (int i = 0; i < 60; ++i) {
+    const image::Image guide = MakeGuide(same, &rng);
+    const image::Image mask =
+        image::GenerateMask(guide, image::MaskLevel::kModerate);
+    GenerationRequest request;
+    request.target_values = same;
+    request.guide = &guide;
+    request.guide_values = &same;
+    request.mask = &mask;
+    zero_edit.Add(model_.Generate(request, &rng)->latent_realism);
+
+    GenerationRequest edited = request;
+    edited.guide_values = &far;  // differs in both attributes
+    two_edit.Add(model_.Generate(edited, &rng)->latent_realism);
+  }
+  EXPECT_GT(zero_edit.mean(), two_edit.mean() + 0.02);
+}
+
+TEST_F(SimulatedFmTest, EditDifficultyIsDeterministicPerSeed) {
+  const SimulatedFoundationModel other(schema_, datasets::FeretFaceStyleFn(),
+                                       datasets::FeretScene(),
+                                       SimulatedFoundationModel::Options());
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    EXPECT_DOUBLE_EQ(model_.EditDifficulty(a, {0, 1}),
+                     other.EditDifficulty(a, {0, 1}));
+    EXPECT_GT(model_.EditDifficulty(a, {0, 1}), 0.0);
+  }
+}
+
+TEST(SimulatedFmOrdinalTest, OrdinalDistanceAmplifiesCost) {
+  const auto schema = datasets::UtkFaceSchema();
+  SimulatedFoundationModel model(schema, datasets::UtkFaceStyleFn(),
+                                 datasets::UtkFaceScene(),
+                                 SimulatedFoundationModel::Options());
+  util::Rng rng(7);
+  // Guide differs only on the ordinal age attribute: one step vs five.
+  const std::vector<int> target = {0, 0, 4};
+  const std::vector<int> near_guide = {0, 0, 5};
+  const std::vector<int> far_guide = {0, 0, 0};
+  stats::RunningStats near_realism;
+  stats::RunningStats far_realism;
+  for (int i = 0; i < 80; ++i) {
+    util::Rng style_rng(100 + i);
+    const image::FaceStyle style =
+        datasets::UtkFaceStyleFn()(near_guide, &style_rng);
+    image::RenderOptions render;
+    render.size = 64;
+    const image::Image guide =
+        image::RenderFace(style, datasets::UtkFaceScene(), render, &style_rng);
+    const image::Image mask =
+        image::GenerateMask(guide, image::MaskLevel::kModerate);
+    GenerationRequest request;
+    request.target_values = target;
+    request.guide = &guide;
+    request.mask = &mask;
+    request.guide_values = &near_guide;
+    near_realism.Add(model.Generate(request, &rng)->latent_realism);
+    request.guide_values = &far_guide;
+    far_realism.Add(model.Generate(request, &rng)->latent_realism);
+  }
+  EXPECT_GT(near_realism.mean(), far_realism.mean());
+}
+
+
+TEST(CorpusIoTest, RoundTripsFullCorpus) {
+  const auto schema = datasets::FeretSchema();
+  Corpus corpus;
+  corpus.dataset = data::Dataset(schema);
+  util::Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    data::Tuple tuple;
+    tuple.values = {i % 2, i % 5};
+    tuple.embedding = {rng.NextDouble(), rng.NextDouble()};
+    tuple.synthetic = i % 3 == 0;
+    image::Image img(8, 8, 3, static_cast<uint8_t>(i * 9));
+    ASSERT_TRUE(corpus.Add(std::move(tuple), std::move(img), 0.9).ok());
+  }
+
+  const std::string dir = ::testing::TempDir() + "/corpus_roundtrip";
+  ASSERT_TRUE(SaveCorpus(corpus, dir).ok());
+  auto loaded = LoadCorpus(dir);
+  ASSERT_TRUE(loaded.ok());
+
+  ASSERT_EQ(loaded->dataset.size(), corpus.dataset.size());
+  ASSERT_EQ(loaded->images.size(), corpus.images.size());
+  for (size_t i = 0; i < corpus.dataset.size(); ++i) {
+    const auto& original = corpus.dataset.tuple(i);
+    const auto& restored = loaded->dataset.tuple(i);
+    EXPECT_EQ(restored.values, original.values);
+    EXPECT_EQ(restored.synthetic, original.synthetic);
+    EXPECT_EQ(restored.payload_id, original.payload_id);
+    ASSERT_EQ(restored.embedding.size(), original.embedding.size());
+    for (size_t e = 0; e < original.embedding.size(); ++e) {
+      EXPECT_NEAR(restored.embedding[e], original.embedding[e], 1e-6);
+    }
+    EXPECT_EQ(loaded->images[original.payload_id],
+              corpus.images[original.payload_id]);
+  }
+  // Schema round-trips too.
+  EXPECT_EQ(loaded->dataset.schema().num_attributes(),
+            schema.num_attributes());
+  EXPECT_EQ(loaded->dataset.schema().attribute(1).values,
+            schema.attribute(1).values);
+}
+
+TEST(CorpusIoTest, AnnotationOnlyRoundTrip) {
+  Corpus corpus;
+  corpus.dataset = data::Dataset(datasets::UtkFaceSchema());
+  data::Tuple tuple;
+  tuple.values = {0, 1, 2};
+  ASSERT_TRUE(corpus.AddAnnotationOnly(std::move(tuple)).ok());
+
+  const std::string dir = ::testing::TempDir() + "/corpus_annotations";
+  ASSERT_TRUE(SaveCorpus(corpus, dir, /*include_images=*/false).ok());
+  auto loaded = LoadCorpus(dir);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->dataset.size(), 1u);
+  EXPECT_TRUE(loaded->images.empty());
+  EXPECT_EQ(loaded->dataset.tuple(0).values, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(loaded->dataset.tuple(0).payload_id, -1);
+}
+
+TEST(CorpusIoTest, LoadFailsOnMissingDirectory) {
+  EXPECT_FALSE(LoadCorpus("/nonexistent/corpus/dir").ok());
+}
+
+}  // namespace
+}  // namespace chameleon::fm

@@ -1,0 +1,193 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/image/face_renderer.h"
+#include "src/image/filter.h"
+#include "src/iqa/brisque.h"
+#include "src/iqa/ggd_fit.h"
+#include "src/iqa/mscn.h"
+#include "src/iqa/nima.h"
+#include "src/iqa/niqe.h"
+#include "src/util/rng.h"
+
+namespace chameleon::iqa {
+namespace {
+
+image::Image MakeFace(uint64_t seed, double artifacts = 0.0) {
+  util::Rng rng(seed);
+  const image::FaceStyle style =
+      image::MakeFaceStyle(static_cast<int>(seed % 5), 5, seed % 2 == 0,
+                           0.4, &rng);
+  image::SceneStyle scene;
+  image::RenderOptions options;
+  options.size = 64;
+  options.artifact_level = artifacts;
+  return image::RenderFace(style, scene, options, &rng);
+}
+
+std::vector<image::Image> MakeCorpus(int n, uint64_t seed) {
+  std::vector<image::Image> corpus;
+  for (int i = 0; i < n; ++i) corpus.push_back(MakeFace(seed + i));
+  return corpus;
+}
+
+TEST(MscnTest, CoefficientsAreRoughlyCentered) {
+  const Field mscn = ComputeMscn(MakeFace(1).ToGrayscale());
+  double sum = 0.0;
+  for (double v : mscn.values) sum += v;
+  const double mean = sum / mscn.values.size();
+  EXPECT_NEAR(mean, 0.0, 0.15);
+}
+
+TEST(MscnTest, FlatImageGivesZeroCoefficients) {
+  const image::Image flat(32, 32, 1, 128);
+  const Field mscn = ComputeMscn(flat);
+  for (double v : mscn.values) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(MscnTest, PairwiseProductsShapes) {
+  Field field{4, 4, std::vector<double>(16, 1.0)};
+  EXPECT_EQ(PairwiseProducts(field, Orientation::kHorizontal).size(), 12u);
+  EXPECT_EQ(PairwiseProducts(field, Orientation::kVertical).size(), 12u);
+  EXPECT_EQ(PairwiseProducts(field, Orientation::kDiagonal).size(), 9u);
+  EXPECT_EQ(PairwiseProducts(field, Orientation::kAntiDiagonal).size(), 9u);
+}
+
+TEST(GgdFitTest, RecoversGaussianShape) {
+  util::Rng rng(3);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.NextGaussian(0, 2.0);
+  const GgdParams params = FitGgd(samples);
+  EXPECT_NEAR(params.alpha, 2.0, 0.25);
+  EXPECT_NEAR(params.sigma, 2.0, 0.1);
+}
+
+TEST(GgdFitTest, RecoversLaplacianShape) {
+  // Laplace(b): difference of two exponentials.
+  util::Rng rng(4);
+  std::vector<double> samples(20000);
+  for (double& s : samples) {
+    const double u1 = -std::log(1.0 - rng.NextDouble());
+    const double u2 = -std::log(1.0 - rng.NextDouble());
+    s = u1 - u2;
+  }
+  const GgdParams params = FitGgd(samples);
+  EXPECT_NEAR(params.alpha, 1.0, 0.2);
+}
+
+TEST(GgdFitTest, DegenerateInputs) {
+  EXPECT_NEAR(FitGgd({}).alpha, 2.0, 1e-9);
+  EXPECT_NEAR(FitGgd({0.0, 0.0, 0.0}).alpha, 2.0, 1e-9);
+}
+
+TEST(AggdFitTest, SymmetricDataGivesEqualScales) {
+  util::Rng rng(5);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.NextGaussian(0, 1.0);
+  const AggdParams params = FitAggd(samples);
+  EXPECT_NEAR(params.sigma_left, params.sigma_right, 0.05);
+  EXPECT_NEAR(params.mean, 0.0, 0.05);
+}
+
+TEST(AggdFitTest, SkewedDataGivesAsymmetricScales) {
+  util::Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double g = rng.NextGaussian(0, 1.0);
+    samples.push_back(g < 0 ? g * 0.3 : g * 2.0);  // wider right tail
+  }
+  const AggdParams params = FitAggd(samples);
+  EXPECT_GT(params.sigma_right, params.sigma_left * 2.0);
+  EXPECT_GT(params.mean, 0.0);
+}
+
+TEST(NiqeTest, RequiresTrainingCorpus) {
+  EXPECT_FALSE(Niqe::Train({}).ok());
+}
+
+TEST(NiqeTest, PatchFeatureDimensionIs18) {
+  std::vector<double> patch(256, 0.1);
+  patch[3] = -0.5;
+  EXPECT_EQ(Niqe::PatchFeatures(patch, 16, 16).size(), 18u);
+}
+
+TEST(NiqeTest, DistortedImagesScoreWorse) {
+  auto niqe = Niqe::Train(MakeCorpus(12, 100));
+  ASSERT_TRUE(niqe.ok());
+  double clean_total = 0.0;
+  double noisy_total = 0.0;
+  for (uint64_t seed = 200; seed < 206; ++seed) {
+    clean_total += niqe->Score(MakeFace(seed));
+    image::Image corrupted = MakeFace(seed);
+    util::Rng rng(seed);
+    image::AddGaussianNoise(&corrupted, 45.0, &rng);
+    noisy_total += niqe->Score(corrupted);
+  }
+  EXPECT_GT(noisy_total, clean_total);
+}
+
+TEST(BrisqueTest, FeatureDimensionIs36) {
+  EXPECT_EQ(BrisqueFeatures(MakeFace(7)).size(), 36u);
+}
+
+TEST(BrisqueTest, DistortedImagesScoreWorse) {
+  auto brisque = Brisque::Train(MakeCorpus(12, 300));
+  ASSERT_TRUE(brisque.ok());
+  double clean_total = 0.0;
+  double noisy_total = 0.0;
+  for (uint64_t seed = 400; seed < 406; ++seed) {
+    clean_total += brisque->Score(MakeFace(seed));
+    image::Image corrupted = MakeFace(seed);
+    image::AddBanding(&corrupted, 4, 60.0);
+    util::Rng rng(seed);
+    image::AddGaussianNoise(&corrupted, 40.0, &rng);
+    noisy_total += brisque->Score(corrupted);
+  }
+  EXPECT_GT(noisy_total, clean_total);
+}
+
+TEST(BrisqueTest, NaturalImagesScoreNearZero) {
+  auto brisque = Brisque::Train(MakeCorpus(16, 500));
+  ASSERT_TRUE(brisque.ok());
+  // In-distribution z-score distance should be modest.
+  EXPECT_LT(brisque->Score(MakeFace(520)), 3.0);
+}
+
+TEST(NimaTest, TrainsAndScoresInRange) {
+  util::Rng rng(9);
+  auto nima = Nima::Train(MakeCorpus(24, 600), &rng);
+  ASSERT_TRUE(nima.ok());
+  const double score = nima->Score(MakeFace(700));
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 10.0);
+}
+
+TEST(NimaTest, AestheticProxyPrefersContrastAndExposure) {
+  // A mid-gray flat image has exposure but no contrast/sharpness; a
+  // black image has neither.
+  const image::Image gray(32, 32, 1, 128);
+  const image::Image black(32, 32, 1, 0);
+  EXPECT_GT(Nima::AestheticProxy(gray), Nima::AestheticProxy(black));
+}
+
+TEST(NimaTest, RejectsTinyCorpus) {
+  util::Rng rng(9);
+  EXPECT_FALSE(Nima::Train(MakeCorpus(2, 0), &rng).ok());
+}
+
+// Property: all three tools are deterministic given the same input.
+TEST(IqaDeterminismTest, ScoresAreStable) {
+  const auto corpus = MakeCorpus(12, 800);
+  auto niqe = Niqe::Train(corpus);
+  auto brisque = Brisque::Train(corpus);
+  util::Rng rng(2);
+  auto nima = Nima::Train(corpus, &rng);
+  ASSERT_TRUE(niqe.ok() && brisque.ok() && nima.ok());
+  const image::Image face = MakeFace(900);
+  EXPECT_DOUBLE_EQ(niqe->Score(face), niqe->Score(face));
+  EXPECT_DOUBLE_EQ(brisque->Score(face), brisque->Score(face));
+  EXPECT_DOUBLE_EQ(nima->Score(face), nima->Score(face));
+}
+
+}  // namespace
+}  // namespace chameleon::iqa

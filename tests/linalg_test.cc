@@ -1,0 +1,168 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector_ops.h"
+#include "src/util/rng.h"
+
+namespace chameleon::linalg {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(VectorOpsTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-2, 0}), -1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);  // degenerate input
+}
+
+TEST(VectorOpsTest, ArithmeticHelpers) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (std::vector<double>{4, 6}));
+  EXPECT_EQ(Sub({3, 4}, {1, 2}), (std::vector<double>{2, 2}));
+  EXPECT_EQ(Scale({1, -2}, 3.0), (std::vector<double>{3, -6}));
+  std::vector<double> a = {1, 1};
+  AddScaled(&a, 2.0, {1, 3});
+  EXPECT_EQ(a, (std::vector<double>{3, 7}));
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 0.5), (std::vector<double>{5, 10}));
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  const Matrix eye = Matrix::Identity(3);
+  Matrix m(3, 3);
+  int fill = 1;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = fill++;
+  }
+  EXPECT_EQ(eye.Multiply(m), m);
+  EXPECT_EQ(m.Multiply(eye), m);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 5;
+  m.at(1, 2) = 6;
+  EXPECT_EQ(m.Multiply(std::vector<double>{1, 1, 1}),
+            (std::vector<double>{6, 15}));
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix m(2, 3);
+  m.at(0, 2) = 7;
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(2, 0), 7);
+}
+
+TEST(MatrixTest, AddOuter) {
+  Matrix m(2, 2);
+  m.AddOuter(2.0, {1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 6);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 8);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 12);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 16);
+}
+
+TEST(MatrixTest, InverseRecoversIdentity) {
+  util::Rng rng(4);
+  const size_t n = 6;
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) m.at(r, c) = rng.NextGaussian();
+    m.at(r, r) += 4.0;  // diagonally dominant -> invertible
+  }
+  auto inv = m.Inverse();
+  ASSERT_TRUE(inv.ok());
+  const Matrix product = m.Multiply(*inv);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(product.at(r, c), r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(MatrixTest, InverseFailsOnSingular) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;
+  EXPECT_FALSE(m.Inverse().ok());
+  EXPECT_FALSE(Matrix(2, 3).Inverse().ok());
+}
+
+TEST(MatrixTest, CholeskySolveMatchesDirect) {
+  // SPD system: A = B B^T + I.
+  util::Rng rng(8);
+  const size_t n = 5;
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b.at(r, c) = rng.NextGaussian();
+  }
+  Matrix a = b.Multiply(b.Transposed());
+  for (size_t i = 0; i < n; ++i) a.at(i, i) += 1.0;
+  const std::vector<double> x_true = {1, -2, 3, 0.5, -0.25};
+  const std::vector<double> rhs = a.Multiply(x_true);
+  auto x = a.CholeskySolve(rhs);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-9);
+}
+
+TEST(MatrixTest, CholeskyRejectsIndefinite) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(1, 1) = -1;
+  EXPECT_FALSE(m.CholeskyFactor().ok());
+  EXPECT_FALSE(m.CholeskySolve({1, 1}).ok());
+}
+
+TEST(MatrixTest, LogDetSpd) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 4;
+  m.at(1, 1) = 9;
+  auto logdet = m.LogDetSpd();
+  ASSERT_TRUE(logdet.ok());
+  EXPECT_NEAR(*logdet, std::log(36.0), 1e-10);
+}
+
+TEST(ShermanMorrisonTest, MatchesDirectInverse) {
+  util::Rng rng(12);
+  const size_t n = 5;
+  Matrix a = Matrix::Identity(n);
+  Matrix ainv = Matrix::Identity(n);
+  for (int update = 0; update < 20; ++update) {
+    std::vector<double> u(n);
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      u[i] = rng.NextGaussian(0, 0.5);
+      v[i] = rng.NextGaussian(0, 0.5);
+    }
+    a.AddOuter(1.0, u, v);
+    ASSERT_TRUE(ShermanMorrisonUpdate(&ainv, u, v).ok());
+  }
+  auto direct = a.Inverse();
+  ASSERT_TRUE(direct.ok());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(ainv.at(r, c), direct->at(r, c), 1e-8);
+    }
+  }
+}
+
+TEST(ShermanMorrisonTest, RejectsSingularUpdate) {
+  // A = I (1x1); u v^T = -1 makes A + uv^T singular.
+  Matrix ainv = Matrix::Identity(1);
+  EXPECT_FALSE(ShermanMorrisonUpdate(&ainv, {1.0}, {-1.0}).ok());
+}
+
+}  // namespace
+}  // namespace chameleon::linalg

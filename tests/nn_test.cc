@@ -1,0 +1,183 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/nn/metrics.h"
+#include "src/nn/mlp.h"
+#include "src/nn/trainer.h"
+#include "src/util/rng.h"
+
+namespace chameleon::nn {
+namespace {
+
+TEST(MlpTest, ShapesAndForward) {
+  util::Rng rng(1);
+  Mlp model({3, 5, 2}, &rng);
+  EXPECT_EQ(model.input_size(), 3);
+  EXPECT_EQ(model.output_size(), 2);
+  EXPECT_EQ(model.num_layers(), 2);
+  const auto out = model.Forward({0.1, -0.2, 0.3});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MlpTest, ForwardWithActivationsTracksLayers) {
+  util::Rng rng(2);
+  Mlp model({2, 4, 3}, &rng);
+  std::vector<std::vector<double>> activations;
+  model.ForwardWithActivations({1.0, -1.0}, &activations);
+  ASSERT_EQ(activations.size(), 3u);
+  EXPECT_EQ(activations[0].size(), 2u);
+  EXPECT_EQ(activations[1].size(), 4u);
+  EXPECT_EQ(activations[2].size(), 3u);
+  // Hidden activations are ReLU outputs: non-negative.
+  for (double v : activations[1]) EXPECT_GE(v, 0.0);
+  // Final activations equal Forward().
+  EXPECT_EQ(activations[2], model.Forward({1.0, -1.0}));
+}
+
+TEST(SoftmaxTest, NormalizesAndOrders) {
+  const auto probs = Softmax({1.0, 2.0, 3.0});
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  const auto probs = Softmax({1000.0, 1000.0});
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_FALSE(std::isnan(probs[1]));
+}
+
+TEST(TrainerTest, LearnsLinearlySeparableClasses) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> inputs;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextGaussian();
+    const double y = rng.NextGaussian();
+    inputs.push_back({x, y});
+    labels.push_back(x + y > 0 ? 1 : 0);
+  }
+  Mlp model({2, 8, 2}, &rng);
+  TrainOptions options;
+  options.epochs = 60;
+  auto report = TrainClassifier(&model, inputs, labels, options, &rng);
+  ASSERT_TRUE(report.ok());
+  int correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    correct += model.Predict(inputs[i]) == labels[i];
+  }
+  EXPECT_GT(correct, 190);
+  // Loss should have decreased.
+  EXPECT_LT(report->final_loss, report->epoch_losses.front());
+}
+
+TEST(TrainerTest, LearnsXorWithHiddenLayer) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> inputs;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.NextDouble() * 2 - 1;
+    const double y = rng.NextDouble() * 2 - 1;
+    inputs.push_back({x, y});
+    labels.push_back((x > 0) != (y > 0) ? 1 : 0);
+  }
+  Mlp model({2, 16, 2}, &rng);
+  TrainOptions options;
+  options.epochs = 200;
+  options.learning_rate = 0.05;
+  auto report = TrainClassifier(&model, inputs, labels, options, &rng);
+  ASSERT_TRUE(report.ok());
+  int correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    correct += model.Predict(inputs[i]) == labels[i];
+  }
+  EXPECT_GT(correct, 360);
+}
+
+TEST(TrainerTest, RegressorFitsLinearTarget) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> targets;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.NextDouble() * 2 - 1;
+    inputs.push_back({x});
+    targets.push_back(3.0 * x + 1.0);
+  }
+  Mlp model({1, 8, 1}, &rng);
+  TrainOptions options;
+  options.epochs = 150;
+  options.learning_rate = 0.02;
+  auto report = TrainRegressor(&model, inputs, targets, options, &rng);
+  ASSERT_TRUE(report.ok());
+  double total_error = 0.0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    total_error += std::fabs(model.Forward(inputs[i])[0] - targets[i]);
+  }
+  EXPECT_LT(total_error / inputs.size(), 0.25);
+}
+
+TEST(TrainerTest, ValidatesInputs) {
+  util::Rng rng(9);
+  Mlp model({2, 2}, &rng);
+  TrainOptions options;
+  EXPECT_FALSE(TrainClassifier(&model, {{1, 2}}, {0, 1}, options, &rng).ok());
+  EXPECT_FALSE(TrainClassifier(&model, {{1, 2}}, {5}, options, &rng).ok());
+  EXPECT_FALSE(TrainClassifier(&model, {{1}}, {0}, options, &rng).ok());
+  EXPECT_FALSE(TrainClassifier(&model, {}, {}, options, &rng).ok());
+  EXPECT_FALSE(TrainRegressor(&model, {{1, 2}}, {0.5}, options, &rng).ok());
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  const std::vector<int> gold = {0, 1, 2, 1};
+  ClassificationReport report(gold, gold, 3);
+  EXPECT_DOUBLE_EQ(report.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(report.MacroF1(), 1.0);
+  EXPECT_DOUBLE_EQ(report.WeightedF1(), 1.0);
+}
+
+TEST(MetricsTest, KnownConfusion) {
+  // gold:      0 0 0 0 1 1
+  // predicted: 0 0 1 1 1 0
+  const std::vector<int> gold = {0, 0, 0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1, 1, 0};
+  ClassificationReport report(gold, predicted, 2);
+  const auto& class0 = report.class_metrics(0);
+  EXPECT_DOUBLE_EQ(class0.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(class0.Recall(), 0.5);
+  const auto& class1 = report.class_metrics(1);
+  EXPECT_DOUBLE_EQ(class1.Precision(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(class1.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(report.Accuracy(), 0.5);
+  EXPECT_EQ(class0.support, 4);
+  EXPECT_EQ(class1.support, 2);
+  // Weighted recall equals accuracy for complete predictions.
+  EXPECT_NEAR(report.WeightedRecall(), report.Accuracy(), 1e-12);
+}
+
+TEST(MetricsTest, ZeroSupportClassesExcludedFromMacro) {
+  const std::vector<int> gold = {0, 0};
+  const std::vector<int> predicted = {0, 0};
+  ClassificationReport report(gold, predicted, 3);
+  EXPECT_DOUBLE_EQ(report.MacroF1(), 1.0);  // classes 1,2 ignored
+}
+
+TEST(MetricsTest, F1IsZeroWhenNoPredictions) {
+  const std::vector<int> gold = {1, 1};
+  const std::vector<int> predicted = {0, 0};
+  ClassificationReport report(gold, predicted, 2);
+  EXPECT_DOUBLE_EQ(report.class_metrics(1).F1(), 0.0);
+  EXPECT_DOUBLE_EQ(report.class_metrics(1).Precision(), 0.0);
+}
+
+TEST(DisparityTest, MatchesPaperFormula) {
+  // p-Disparity(g) = max(0, 1 - rho_g / rho_all).
+  EXPECT_NEAR(Disparity(0.16, 0.78), 1.0 - 0.16 / 0.78, 1e-12);
+  EXPECT_DOUBLE_EQ(Disparity(0.9, 0.8), 0.0);  // group beats overall
+  EXPECT_DOUBLE_EQ(Disparity(0.0, 0.8), 1.0);
+  EXPECT_DOUBLE_EQ(Disparity(0.5, 0.0), 0.0);  // degenerate overall
+}
+
+}  // namespace
+}  // namespace chameleon::nn

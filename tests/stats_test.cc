@@ -1,0 +1,182 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/stats/special_functions.h"
+#include "src/stats/summary.h"
+#include "src/stats/t_test.h"
+
+namespace chameleon::stats {
+namespace {
+
+TEST(SpecialFunctionsTest, LogGammaKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-9);
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaEdges) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaSymmetry) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a)
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.5, x),
+                1.0 - RegularizedIncompleteBeta(1.5, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaUniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.6, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-10);
+  }
+}
+
+TEST(SpecialFunctionsTest, StudentTCdfReferenceValues) {
+  // Standard t-table: P(T_4 <= 2.132) ~= 0.95; P(T_9 <= 1.833) ~= 0.95.
+  EXPECT_NEAR(StudentTCdf(2.132, 4), 0.95, 2e-3);
+  EXPECT_NEAR(StudentTCdf(1.833, 9), 0.95, 2e-3);
+  EXPECT_NEAR(StudentTCdf(0.0, 7), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(-2.132, 4), 0.05, 2e-3);
+}
+
+TEST(SpecialFunctionsTest, StudentTApproachesNormalAtHighDf) {
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), NormalCdf(1.96), 1e-4);
+}
+
+TEST(SpecialFunctionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(NormalCdf(-1.6449), 0.05, 1e-4);
+}
+
+TEST(SpecialFunctionsTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.01, 0.05, 0.3, 0.5, 0.77, 0.99}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8);
+  }
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+}
+
+TEST(SpecialFunctionsTest, GgdRatioMonotoneDecreasing) {
+  double prev = GeneralizedGaussianRatio(0.2);
+  for (double alpha : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double current = GeneralizedGaussianRatio(alpha);
+    EXPECT_LT(current, prev);
+    prev = current;
+  }
+  // Gaussian case: r(2) = pi/2.
+  EXPECT_NEAR(GeneralizedGaussianRatio(2.0), M_PI / 2.0, 1e-9);
+}
+
+TEST(RunningStatsTest, MatchesBatchFormulas) {
+  RunningStats stats;
+  const std::vector<double> values = {1, 4, 4, 9, -2, 3.5};
+  for (double v : values) stats.Add(v);
+  EXPECT_EQ(stats.count(), 6);
+  EXPECT_NEAR(stats.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(stats.variance(), Variance(values), 1e-12);
+  EXPECT_NEAR(stats.stddev(), StdDev(values), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -2);
+  EXPECT_DOUBLE_EQ(stats.max(), 9);
+}
+
+TEST(SummaryTest, DegenerateInputs) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({5.0}), 0.0);
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+}
+
+TEST(JaccardTest, StandardCases) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  // Duplicates are set-collapsed.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 1, 2}, {2, 2, 1}), 1.0);
+}
+
+TEST(TTestTest, RejectsClearlyLowMean) {
+  // 0/10 positives against p = 0.86: overwhelming rejection.
+  const std::vector<int> labels(10, 0);
+  const auto result = OneSampleTTestLower(labels, 0.86);
+  EXPECT_TRUE(result.Rejects(0.1));
+  EXPECT_TRUE(result.Rejects(0.01));
+}
+
+TEST(TTestTest, AcceptsMatchingMean) {
+  // Alternating labels, mean 0.5, against mu0 = 0.5.
+  const std::vector<int> labels = {1, 0, 1, 0, 1, 0};
+  const auto result = OneSampleTTestLower(labels, 0.5);
+  EXPECT_FALSE(result.Rejects(0.1));
+  EXPECT_NEAR(result.p_value, 0.5, 0.05);
+}
+
+TEST(TTestTest, UnanimousPositiveNeverRejected) {
+  const std::vector<int> labels(5, 1);
+  const auto result = OneSampleTTestLower(labels, 0.86);
+  EXPECT_FALSE(result.Rejects(0.4));
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(TTestTest, UnanimousNegativeAlwaysRejected) {
+  const std::vector<int> labels(5, 0);
+  const auto result = OneSampleTTestLower(labels, 0.86);
+  EXPECT_TRUE(result.Rejects(0.01));
+  EXPECT_DOUBLE_EQ(result.p_value, 0.0);
+}
+
+TEST(TTestTest, TooFewSamplesNeverRejects) {
+  EXPECT_FALSE(OneSampleTTestLower(std::vector<int>{0}, 0.9).Rejects(0.4));
+  EXPECT_FALSE(OneSampleTTestLower(std::vector<int>{}, 0.9).Rejects(0.4));
+}
+
+TEST(TTestTest, PaperCalibration) {
+  // §6.4.1: with N = 5 evaluations and p = 0.86, alpha = 0.1 behaves
+  // like a majority vote (3/5 passes) while alpha = 0.4 approximates
+  // unanimity (4/5 fails).
+  const double p = 0.86;
+  const auto four_of_five =
+      OneSampleTTestLower(std::vector<int>{1, 1, 1, 1, 0}, p);
+  EXPECT_FALSE(four_of_five.Rejects(0.1));
+  EXPECT_TRUE(four_of_five.Rejects(0.4));
+
+  const auto three_of_five =
+      OneSampleTTestLower(std::vector<int>{1, 1, 1, 0, 0}, p);
+  EXPECT_FALSE(three_of_five.Rejects(0.1));
+
+  const auto two_of_five =
+      OneSampleTTestLower(std::vector<int>{1, 1, 0, 0, 0}, p);
+  EXPECT_TRUE(two_of_five.Rejects(0.1));
+}
+
+// Property: p-value is monotone in the sample mean (for fixed N).
+class TTestMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TTestMonotonicityTest, MorePositivesHigherPValue) {
+  const int n = GetParam();
+  double previous = -1.0;
+  for (int positives = 0; positives <= n; ++positives) {
+    std::vector<int> labels(n, 0);
+    for (int i = 0; i < positives; ++i) labels[i] = 1;
+    const double p_value = OneSampleTTestLower(labels, 0.86).p_value;
+    EXPECT_GE(p_value, previous) << positives << " of " << n;
+    previous = p_value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BudgetSizes, TTestMonotonicityTest,
+                         ::testing::Values(3, 5, 7, 10, 20));
+
+}  // namespace
+}  // namespace chameleon::stats

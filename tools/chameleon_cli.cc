@@ -1,0 +1,270 @@
+// Command-line front end for the Chameleon library.
+//
+//   chameleon_cli audit  --dataset=feret|utkface --tau=N [--n=N]
+//   chameleon_cli repair --dataset=feret|utkface --tau=N
+//                        [--strategy=linucb|similar|random|noguide]
+//                        [--mask=accurate|moderate|imprecise]
+//                        [--alpha=0.1] [--nu=0.3] [--seed=S] [--out=DIR]
+//   chameleon_cli plan   --dataset=feret|utkface --tau=N
+//                        [--algorithm=greedy|mingap|random]
+//
+// `audit` reports the Maximal Uncovered Patterns; `plan` prints the
+// combination-selection plan without touching a foundation model;
+// `repair` runs the full pipeline against the simulated foundation model
+// and optionally saves the repaired corpus (CSV + PNM) to --out.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/chameleon.h"
+#include "src/coverage/mup_finder.h"
+#include "src/coverage/pattern_counter.h"
+#include "src/datasets/feret.h"
+#include "src/datasets/utkface.h"
+#include "src/embedding/simulated_embedder.h"
+#include "src/fm/corpus_io.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace chameleon;
+
+/// Minimal --key=value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+struct LoadedCorpus {
+  fm::Corpus corpus;
+  fm::FaceStyleFn style_fn;
+  image::SceneStyle scene;
+};
+
+bool LoadDataset(const Flags& flags, const embedding::SimulatedEmbedder& embedder,
+                 bool with_images, LoadedCorpus* out) {
+  const std::string name = flags.Get("dataset", "feret");
+  if (name == "feret") {
+    datasets::FeretOptions options;
+    options.render.render_images = with_images;
+    auto corpus = datasets::MakeFeret(&embedder, options);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return false;
+    }
+    out->corpus = std::move(*corpus);
+    out->style_fn = datasets::FeretFaceStyleFn();
+    out->scene = datasets::FeretScene();
+    return true;
+  }
+  if (name == "utkface") {
+    datasets::UtkFaceOptions options;
+    options.render.render_images = with_images;
+    options.num_tuples = static_cast<int>(flags.GetInt("n", 20000));
+    auto corpus = datasets::MakeUtkFace(&embedder, options);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return false;
+    }
+    out->corpus = std::move(*corpus);
+    out->style_fn = datasets::UtkFaceStyleFn();
+    out->scene = datasets::UtkFaceScene();
+    return true;
+  }
+  std::fprintf(stderr, "unknown --dataset=%s (feret|utkface)\n",
+               name.c_str());
+  return false;
+}
+
+std::vector<coverage::Mup> FindMups(const fm::Corpus& corpus, int64_t tau) {
+  const auto counter = coverage::PatternCounter::FromDataset(corpus.dataset);
+  coverage::MupFinder finder(corpus.dataset.schema(), counter);
+  coverage::MupFinderOptions options;
+  options.tau = tau;
+  return finder.FindMups(options);
+}
+
+int CmdAudit(const Flags& flags) {
+  const embedding::SimulatedEmbedder embedder;
+  LoadedCorpus loaded;
+  if (!LoadDataset(flags, embedder, /*with_images=*/false, &loaded)) return 1;
+  const int64_t tau = flags.GetInt("tau", 100);
+
+  const auto mups = FindMups(loaded.corpus, tau);
+  std::printf("%zu tuples; %zu MUP(s) at tau=%lld\n",
+              loaded.corpus.dataset.size(), mups.size(),
+              static_cast<long long>(tau));
+  util::TablePrinter table({"level", "pattern", "subgroup", "count", "gap"});
+  for (const auto& m : mups) {
+    table.AddRow({util::Fmt(m.Level()), m.pattern.ToString(),
+                  m.pattern.ToString(loaded.corpus.dataset.schema()),
+                  util::Fmt(m.count), util::Fmt(m.gap)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdPlan(const Flags& flags) {
+  const embedding::SimulatedEmbedder embedder;
+  LoadedCorpus loaded;
+  if (!LoadDataset(flags, embedder, /*with_images=*/false, &loaded)) return 1;
+  const int64_t tau = flags.GetInt("tau", 100);
+  const std::string algorithm = flags.Get("algorithm", "greedy");
+
+  const auto mups = FindMups(loaded.corpus, tau);
+  if (mups.empty()) {
+    std::printf("fully covered at tau=%lld; nothing to plan\n",
+                static_cast<long long>(tau));
+    return 0;
+  }
+  const auto targets = coverage::MupFinder::MinLevel(mups);
+  const auto& schema = loaded.corpus.dataset.schema();
+  core::CombinationPlan plan;
+  util::Rng rng(flags.GetInt("seed", 99));
+  if (algorithm == "greedy") {
+    plan = core::GreedySelect(schema, targets);
+  } else if (algorithm == "mingap") {
+    plan = core::MinGapSelect(schema, mups, targets[0].Level());
+  } else if (algorithm == "random") {
+    plan = core::RandomSelect(schema, mups, targets[0].Level(), &rng);
+  } else {
+    std::fprintf(stderr, "unknown --algorithm=%s\n", algorithm.c_str());
+    return 1;
+  }
+
+  std::printf("%s plan for %zu level-%d MUP(s): %lld images total\n",
+              algorithm.c_str(), targets.size(), targets[0].Level(),
+              static_cast<long long>(core::PlanTotal(plan)));
+  util::TablePrinter table({"combination", "count"});
+  for (const auto& entry : plan) {
+    table.AddRow({schema.CombinationToString(entry.values),
+                  util::Fmt(entry.count)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdRepair(const Flags& flags) {
+  const embedding::SimulatedEmbedder embedder;
+  LoadedCorpus loaded;
+  if (!LoadDataset(flags, embedder, /*with_images=*/true, &loaded)) return 1;
+
+  core::ChameleonOptions options;
+  options.tau = flags.GetInt("tau", 100);
+  options.seed = flags.GetInt("seed", 99);
+  options.rejection.quality_alpha = flags.GetDouble("alpha", 0.1);
+  options.rejection.svm.nu = flags.GetDouble("nu", 0.3);
+
+  const std::string strategy = flags.Get("strategy", "linucb");
+  if (strategy == "linucb") {
+    options.guide_strategy = core::GuideStrategy::kLinUcb;
+  } else if (strategy == "similar") {
+    options.guide_strategy = core::GuideStrategy::kSimilarTuple;
+  } else if (strategy == "random") {
+    options.guide_strategy = core::GuideStrategy::kRandomGuide;
+  } else if (strategy == "noguide") {
+    options.guide_strategy = core::GuideStrategy::kNoGuide;
+  } else {
+    std::fprintf(stderr, "unknown --strategy=%s\n", strategy.c_str());
+    return 1;
+  }
+  const std::string mask = flags.Get("mask", "moderate");
+  if (mask == "accurate") {
+    options.mask_level = image::MaskLevel::kAccurate;
+  } else if (mask == "moderate") {
+    options.mask_level = image::MaskLevel::kModerate;
+  } else if (mask == "imprecise") {
+    options.mask_level = image::MaskLevel::kImprecise;
+  } else {
+    std::fprintf(stderr, "unknown --mask=%s\n", mask.c_str());
+    return 1;
+  }
+
+  fm::SimulatedFoundationModel model(loaded.corpus.dataset.schema(),
+                                     loaded.style_fn, loaded.scene,
+                                     fm::SimulatedFoundationModel::Options());
+  const fm::EvaluatorPool evaluators(flags.GetInt("evaluator_seed", 2024));
+  core::Chameleon system(&model, &embedder, &evaluators, options);
+  auto report = system.RepairMinLevelMups(&loaded.corpus);
+  if (!report.ok()) {
+    std::fprintf(stderr, "repair failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("repaired %zu MUP(s): %lld queries, %lld accepted (%.0f%%), "
+              "estimated p=%.2f, cost=$%.2f, resolved=%s\n",
+              report->initial_mups.size(),
+              static_cast<long long>(report->queries),
+              static_cast<long long>(report->accepted),
+              100.0 * report->AcceptanceRate(), report->estimated_p,
+              report->total_cost, report->fully_resolved ? "yes" : "no");
+
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    const util::Status saved = fm::SaveCorpus(loaded.corpus, out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("repaired corpus written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: chameleon_cli <audit|plan|repair> [--flags]\n"
+               "  audit  --dataset=feret|utkface --tau=N [--n=N]\n"
+               "  plan   --dataset=... --tau=N "
+               "[--algorithm=greedy|mingap|random]\n"
+               "  repair --dataset=... --tau=N [--strategy=linucb|similar|"
+               "random|noguide]\n"
+               "         [--mask=accurate|moderate|imprecise] [--alpha=A] "
+               "[--nu=V] [--out=DIR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv);
+  if (command == "audit") return CmdAudit(flags);
+  if (command == "plan") return CmdPlan(flags);
+  if (command == "repair") return CmdRepair(flags);
+  return Usage();
+}
