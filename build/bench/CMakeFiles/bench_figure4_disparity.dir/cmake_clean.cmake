@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_disparity.dir/bench_figure4_disparity.cc.o"
+  "CMakeFiles/bench_figure4_disparity.dir/bench_figure4_disparity.cc.o.d"
+  "bench_figure4_disparity"
+  "bench_figure4_disparity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

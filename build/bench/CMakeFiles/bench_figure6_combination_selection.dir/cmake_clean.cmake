@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_combination_selection.dir/bench_figure6_combination_selection.cc.o"
+  "CMakeFiles/bench_figure6_combination_selection.dir/bench_figure6_combination_selection.cc.o.d"
+  "bench_figure6_combination_selection"
+  "bench_figure6_combination_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_combination_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_coverage.dir/bench_micro_coverage.cc.o"
+  "CMakeFiles/bench_micro_coverage.dir/bench_micro_coverage.cc.o.d"
+  "bench_micro_coverage"
+  "bench_micro_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_image.dir/bench_micro_image.cc.o"
+  "CMakeFiles/bench_micro_image.dir/bench_micro_image.cc.o.d"
+  "bench_micro_image"
+  "bench_micro_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_iqa.dir/bench_micro_iqa.cc.o"
+  "CMakeFiles/bench_micro_iqa.dir/bench_micro_iqa.cc.o.d"
+  "bench_micro_iqa"
+  "bench_micro_iqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_iqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_linucb.dir/bench_micro_linucb.cc.o"
+  "CMakeFiles/bench_micro_linucb.dir/bench_micro_linucb.cc.o.d"
+  "bench_micro_linucb"
+  "bench_micro_linucb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_linucb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ocsvm.dir/bench_micro_ocsvm.cc.o"
+  "CMakeFiles/bench_micro_ocsvm.dir/bench_micro_ocsvm.cc.o.d"
+  "bench_micro_ocsvm"
+  "bench_micro_ocsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ocsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

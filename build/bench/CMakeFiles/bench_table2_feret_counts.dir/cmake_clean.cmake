@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_feret_counts.dir/bench_table2_feret_counts.cc.o"
+  "CMakeFiles/bench_table2_feret_counts.dir/bench_table2_feret_counts.cc.o.d"
+  "bench_table2_feret_counts"
+  "bench_table2_feret_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_feret_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

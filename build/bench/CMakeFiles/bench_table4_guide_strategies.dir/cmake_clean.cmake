@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_guide_strategies.dir/bench_table4_guide_strategies.cc.o"
+  "CMakeFiles/bench_table4_guide_strategies.dir/bench_table4_guide_strategies.cc.o.d"
+  "bench_table4_guide_strategies"
+  "bench_table4_guide_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_guide_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_iqa_jaccard.dir/bench_table5_iqa_jaccard.cc.o"
+  "CMakeFiles/bench_table5_iqa_jaccard.dir/bench_table5_iqa_jaccard.cc.o.d"
+  "bench_table5_iqa_jaccard"
+  "bench_table5_iqa_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_iqa_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feret_repair.dir/feret_repair.cpp.o"
+  "CMakeFiles/feret_repair.dir/feret_repair.cpp.o.d"
+  "feret_repair"
+  "feret_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feret_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

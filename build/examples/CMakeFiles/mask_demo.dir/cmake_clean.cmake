@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mask_demo.dir/mask_demo.cpp.o"
+  "CMakeFiles/mask_demo.dir/mask_demo.cpp.o.d"
+  "mask_demo"
+  "mask_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mask_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utkface_audit.dir/utkface_audit.cpp.o"
+  "CMakeFiles/utkface_audit.dir/utkface_audit.cpp.o.d"
+  "utkface_audit"
+  "utkface_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utkface_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

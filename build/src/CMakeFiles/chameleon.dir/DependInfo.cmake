@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/epsilon_greedy.cc" "src/CMakeFiles/chameleon.dir/bandit/epsilon_greedy.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/bandit/epsilon_greedy.cc.o.d"
+  "/root/repo/src/bandit/linucb.cc" "src/CMakeFiles/chameleon.dir/bandit/linucb.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/bandit/linucb.cc.o.d"
+  "/root/repo/src/core/chameleon.cc" "src/CMakeFiles/chameleon.dir/core/chameleon.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/chameleon.cc.o.d"
+  "/root/repo/src/core/combination_selection.cc" "src/CMakeFiles/chameleon.dir/core/combination_selection.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/combination_selection.cc.o.d"
+  "/root/repo/src/core/guide_selection.cc" "src/CMakeFiles/chameleon.dir/core/guide_selection.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/guide_selection.cc.o.d"
+  "/root/repo/src/core/rejection_sampler.cc" "src/CMakeFiles/chameleon.dir/core/rejection_sampler.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/core/rejection_sampler.cc.o.d"
+  "/root/repo/src/coverage/mup_finder.cc" "src/CMakeFiles/chameleon.dir/coverage/mup_finder.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/coverage/mup_finder.cc.o.d"
+  "/root/repo/src/coverage/pattern_counter.cc" "src/CMakeFiles/chameleon.dir/coverage/pattern_counter.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/coverage/pattern_counter.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/chameleon.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/pattern.cc" "src/CMakeFiles/chameleon.dir/data/pattern.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/data/pattern.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/chameleon.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/data/schema.cc.o.d"
+  "/root/repo/src/datasets/feret.cc" "src/CMakeFiles/chameleon.dir/datasets/feret.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/datasets/feret.cc.o.d"
+  "/root/repo/src/datasets/synthetic_corpus.cc" "src/CMakeFiles/chameleon.dir/datasets/synthetic_corpus.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/datasets/synthetic_corpus.cc.o.d"
+  "/root/repo/src/datasets/utkface.cc" "src/CMakeFiles/chameleon.dir/datasets/utkface.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/datasets/utkface.cc.o.d"
+  "/root/repo/src/embedding/simulated_embedder.cc" "src/CMakeFiles/chameleon.dir/embedding/simulated_embedder.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/embedding/simulated_embedder.cc.o.d"
+  "/root/repo/src/fm/corpus_io.cc" "src/CMakeFiles/chameleon.dir/fm/corpus_io.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/fm/corpus_io.cc.o.d"
+  "/root/repo/src/fm/evaluator_pool.cc" "src/CMakeFiles/chameleon.dir/fm/evaluator_pool.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/fm/evaluator_pool.cc.o.d"
+  "/root/repo/src/fm/foundation_model.cc" "src/CMakeFiles/chameleon.dir/fm/foundation_model.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/fm/foundation_model.cc.o.d"
+  "/root/repo/src/fm/simulated_foundation_model.cc" "src/CMakeFiles/chameleon.dir/fm/simulated_foundation_model.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/fm/simulated_foundation_model.cc.o.d"
+  "/root/repo/src/image/draw.cc" "src/CMakeFiles/chameleon.dir/image/draw.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/image/draw.cc.o.d"
+  "/root/repo/src/image/face_renderer.cc" "src/CMakeFiles/chameleon.dir/image/face_renderer.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/image/face_renderer.cc.o.d"
+  "/root/repo/src/image/filter.cc" "src/CMakeFiles/chameleon.dir/image/filter.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/image/filter.cc.o.d"
+  "/root/repo/src/image/foreground.cc" "src/CMakeFiles/chameleon.dir/image/foreground.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/image/foreground.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/CMakeFiles/chameleon.dir/image/image.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/image/image.cc.o.d"
+  "/root/repo/src/image/mask_generator.cc" "src/CMakeFiles/chameleon.dir/image/mask_generator.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/image/mask_generator.cc.o.d"
+  "/root/repo/src/image/pnm_io.cc" "src/CMakeFiles/chameleon.dir/image/pnm_io.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/image/pnm_io.cc.o.d"
+  "/root/repo/src/iqa/brisque.cc" "src/CMakeFiles/chameleon.dir/iqa/brisque.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/iqa/brisque.cc.o.d"
+  "/root/repo/src/iqa/ggd_fit.cc" "src/CMakeFiles/chameleon.dir/iqa/ggd_fit.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/iqa/ggd_fit.cc.o.d"
+  "/root/repo/src/iqa/mscn.cc" "src/CMakeFiles/chameleon.dir/iqa/mscn.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/iqa/mscn.cc.o.d"
+  "/root/repo/src/iqa/nima.cc" "src/CMakeFiles/chameleon.dir/iqa/nima.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/iqa/nima.cc.o.d"
+  "/root/repo/src/iqa/niqe.cc" "src/CMakeFiles/chameleon.dir/iqa/niqe.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/iqa/niqe.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/chameleon.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/chameleon.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/linalg/vector_ops.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/CMakeFiles/chameleon.dir/nn/metrics.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/nn/metrics.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/chameleon.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/CMakeFiles/chameleon.dir/nn/trainer.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/nn/trainer.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/chameleon.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/stats/special_functions.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/chameleon.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/stats/summary.cc.o.d"
+  "/root/repo/src/stats/t_test.cc" "src/CMakeFiles/chameleon.dir/stats/t_test.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/stats/t_test.cc.o.d"
+  "/root/repo/src/svm/kernel.cc" "src/CMakeFiles/chameleon.dir/svm/kernel.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/svm/kernel.cc.o.d"
+  "/root/repo/src/svm/one_class_svm.cc" "src/CMakeFiles/chameleon.dir/svm/one_class_svm.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/svm/one_class_svm.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/chameleon.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/chameleon.dir/util/status.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/chameleon.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/chameleon.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/chameleon.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combination_selection_test.dir/combination_selection_test.cc.o"
+  "CMakeFiles/combination_selection_test.dir/combination_selection_test.cc.o.d"
+  "combination_selection_test"
+  "combination_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combination_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_test.dir/fm_test.cc.o"
+  "CMakeFiles/fm_test.dir/fm_test.cc.o.d"
+  "fm_test"
+  "fm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

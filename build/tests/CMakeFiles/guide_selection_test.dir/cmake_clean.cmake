@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guide_selection_test.dir/guide_selection_test.cc.o"
+  "CMakeFiles/guide_selection_test.dir/guide_selection_test.cc.o.d"
+  "guide_selection_test"
+  "guide_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guide_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

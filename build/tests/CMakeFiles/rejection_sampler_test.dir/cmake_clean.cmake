@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejection_sampler_test.dir/rejection_sampler_test.cc.o"
+  "CMakeFiles/rejection_sampler_test.dir/rejection_sampler_test.cc.o.d"
+  "rejection_sampler_test"
+  "rejection_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejection_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
