@@ -53,4 +53,33 @@ void BM_DecisionValue(benchmark::State& state) {
 }
 BENCHMARK(BM_DecisionValue)->Range(64, 2048);
 
+// Parallel Gram-matrix construction during training. Fixed n = 1024 so
+// the cache build dominates; Arg is num_threads (1 = serial baseline).
+void BM_TrainRbfParallel(benchmark::State& state) {
+  const auto points = MakeCluster(1024, 32, 5);
+  svm::OneClassSvmOptions options;
+  options.nu = 0.3;
+  options.kernel = svm::Kernel::Rbf();
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svm::OneClassSvm::Train(points, options));
+  }
+}
+BENCHMARK(BM_TrainRbfParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// Batch scoring via DecisionValues; Arg is num_threads.
+void BM_DecisionValuesBatch(benchmark::State& state) {
+  const auto points = MakeCluster(1024, 32, 5);
+  svm::OneClassSvmOptions options;
+  options.nu = 0.3;
+  auto model = svm::OneClassSvm::Train(points, options);
+  const auto queries = MakeCluster(512, 32, 77);
+  const int num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->DecisionValues(queries, num_threads));
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_DecisionValuesBatch)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace

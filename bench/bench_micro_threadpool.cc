@@ -1,0 +1,81 @@
+// Micro-benchmarks for the thread pool itself: task dispatch overhead,
+// ParallelFor scaling against an embarrassingly parallel workload, and
+// the cost of deterministic per-chunk RNG splitting.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace {
+
+using namespace chameleon;
+
+// Raw Submit round-trip cost: enqueue a trivial task and wait for it.
+void BM_SubmitRoundTrip(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    pool.Submit([&sink] { sink.fetch_add(1, std::memory_order_relaxed); })
+        .wait();
+    benchmark::DoNotOptimize(sink.load());
+  }
+}
+BENCHMARK(BM_SubmitRoundTrip)->Arg(1)->Arg(2)->Arg(4);
+
+// CPU-bound ParallelFor: each index does a fixed amount of transcendental
+// work. Sweeps thread count at a fixed problem size, so per-thread
+// scaling reads directly off the time column.
+void BM_ParallelForCompute(benchmark::State& state) {
+  const int num_threads = static_cast<int>(state.range(0));
+  constexpr int64_t kTotal = 1 << 14;
+  constexpr int64_t kGrain = 64;
+  util::ThreadPool pool(num_threads);
+  std::vector<double> out(kTotal);
+  for (auto _ : state) {
+    pool.ParallelFor(kTotal, kGrain,
+                     [&out](int64_t begin, int64_t end, int64_t /*chunk*/) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         double acc = static_cast<double>(i);
+                         for (int k = 0; k < 32; ++k) {
+                           acc = std::sqrt(acc + 1.0) * 1.0001;
+                         }
+                         out[i] = acc;
+                       }
+                     });
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kTotal);
+}
+BENCHMARK(BM_ParallelForCompute)->Arg(1)->Arg(2)->Arg(4);
+
+// Deterministic seeded variant: same workload plus one RNG draw per
+// index, measuring the overhead of serial chunk-seed derivation.
+void BM_ParallelForSeeded(benchmark::State& state) {
+  const int num_threads = static_cast<int>(state.range(0));
+  constexpr int64_t kTotal = 1 << 14;
+  constexpr int64_t kGrain = 64;
+  util::ThreadPool pool(num_threads);
+  std::vector<double> out(kTotal);
+  for (auto _ : state) {
+    pool.ParallelForSeeded(
+        /*seed=*/42, kTotal, kGrain,
+        [&out](int64_t begin, int64_t end, int64_t /*chunk*/,
+               util::Rng* rng) {
+          for (int64_t i = begin; i < end; ++i) {
+            out[i] = rng->NextGaussian(0.0, 1.0);
+          }
+        });
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kTotal);
+}
+BENCHMARK(BM_ParallelForSeeded)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

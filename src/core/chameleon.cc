@@ -1,10 +1,29 @@
 #include "src/core/chameleon.h"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/coverage/pattern_counter.h"
+#include "src/util/thread_pool.h"
 
 namespace chameleon::core {
+namespace {
+
+/// One submitted generation awaiting evaluation. Select/Generate/label
+/// draws happen serially at submission (preserving the master rng
+/// stream); Embed and the rejection tests are pure and run concurrently.
+struct PendingCandidate {
+  GuideChoice choice;
+  image::Image image;
+  double latent_realism = 0.0;
+  std::vector<int> quality_labels;
+  // Filled by the (possibly parallel) evaluation stage.
+  std::vector<double> embedding;
+  RejectionOutcome outcome;
+};
+
+}  // namespace
 
 Chameleon::Chameleon(fm::FoundationModel* model,
                      const embedding::Embedder* embedder,
@@ -23,69 +42,115 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
   int64_t accepted_here = 0;
   int64_t attempts = 0;
   const int64_t attempt_cap = options_.max_attempts_per_tuple * count;
+  const int64_t batch_limit =
+      std::max<int64_t>(1, options_.rejection_batch);
+  const int num_threads =
+      util::ThreadPool::ResolveThreadCount(options_.num_threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (batch_limit > 1 && num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(num_threads);
+  }
 
   while (accepted_here < count && attempts < attempt_cap &&
          report->queries < options_.max_queries) {
-    ++attempts;
+    // Never submit more than the caps allow: a batch can accept at most
+    // (count - accepted_here), so a capped batch issues exactly the
+    // queries the one-at-a-time loop would.
+    const int64_t batch = std::min(
+        {batch_limit, count - accepted_here, attempt_cap - attempts,
+         options_.max_queries - report->queries});
 
-    auto choice = selector->Select(corpus->dataset, target, rng);
-    if (!choice.ok()) return choice.status();
+    // Submission: everything that touches the master rng or reads
+    // mutable pipeline state runs serially, in the same order the legacy
+    // loop consumed the rng stream (Embed and the rejection tests draw
+    // nothing, so labels can be pre-drawn).
+    std::vector<PendingCandidate> candidates;
+    candidates.reserve(batch);
+    for (int64_t b = 0; b < batch; ++b) {
+      ++attempts;
 
-    fm::GenerationRequest request;
-    request.target_values = target;
-    request.prompt = fm::BuildPrompt(schema, target);
-    image::Image mask;
-    if (choice->has_guide) {
-      const data::Tuple& guide_tuple = corpus->dataset.tuple(
-          choice->tuple_index);
-      if (guide_tuple.payload_id < 0) {
-        return util::Status::FailedPrecondition(
-            "guide tuple has no image payload");
+      auto choice = selector->Select(corpus->dataset, target, rng);
+      if (!choice.ok()) return choice.status();
+
+      fm::GenerationRequest request;
+      request.target_values = target;
+      request.prompt = fm::BuildPrompt(schema, target);
+      image::Image mask;
+      if (choice->has_guide) {
+        const data::Tuple& guide_tuple = corpus->dataset.tuple(
+            choice->tuple_index);
+        if (guide_tuple.payload_id < 0) {
+          return util::Status::FailedPrecondition(
+              "guide tuple has no image payload");
+        }
+        const image::Image& guide_image =
+            corpus->images[guide_tuple.payload_id];
+        mask = image::GenerateMask(guide_image, options_.mask_level);
+        request.guide = &guide_image;
+        request.guide_values = &choice->guide_values;
+        request.mask = &mask;
       }
-      const image::Image& guide_image =
-          corpus->images[guide_tuple.payload_id];
-      mask = image::GenerateMask(guide_image, options_.mask_level);
-      request.guide = &guide_image;
-      request.guide_values = &choice->guide_values;
-      request.mask = &mask;
+
+      auto generation = model_->Generate(request, rng);
+      if (!generation.ok()) return generation.status();
+      ++report->queries;
+
+      PendingCandidate candidate;
+      candidate.choice = std::move(*choice);
+      candidate.image = std::move(generation->image);
+      candidate.latent_realism = generation->latent_realism;
+      candidate.quality_labels =
+          sampler.DrawQualityLabels(candidate.latent_realism, rng);
+      candidates.push_back(std::move(candidate));
     }
 
-    auto generation = model_->Generate(request, rng);
-    if (!generation.ok()) return generation.status();
-    ++report->queries;
+    // Evaluation: pure per-candidate work, fanned out over the pool.
+    // Each candidate writes only its own slot, so the results are
+    // bit-identical at every worker count.
+    auto evaluate = [&](int64_t begin, int64_t end, int64_t /*chunk*/) {
+      for (int64_t i = begin; i < end; ++i) {
+        PendingCandidate& c = candidates[i];
+        c.embedding = embedder_->Embed(c.image);
+        c.outcome = sampler.EvaluateWithLabels(c.embedding, c.quality_labels);
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<int64_t>(candidates.size()), 1, evaluate);
+    } else {
+      evaluate(0, static_cast<int64_t>(candidates.size()), 0);
+    }
 
-    const std::vector<double> embedding =
-        embedder_->Embed(generation->image);
-    const RejectionOutcome outcome =
-        sampler.Evaluate(embedding, generation->latent_realism, rng);
+    // Merge: rewards, records, and corpus growth strictly in submission
+    // order, exactly as the serial loop interleaves them.
+    for (PendingCandidate& c : candidates) {
+      report->distribution_passes += c.outcome.distribution_pass;
+      report->quality_passes += c.outcome.quality_pass;
+      selector->ReportReward(target, c.choice, c.outcome.Passed());
 
-    report->distribution_passes += outcome.distribution_pass;
-    report->quality_passes += outcome.quality_pass;
-    selector->ReportReward(target, *choice, outcome.Passed());
+      GenerationRecord record;
+      record.target_values = target;
+      record.embedding = c.embedding;
+      record.latent_realism = c.latent_realism;
+      record.distribution_pass = c.outcome.distribution_pass;
+      record.quality_pass = c.outcome.quality_pass;
+      record.quality_p_value = c.outcome.quality_p_value;
+      record.decision_value = c.outcome.decision_value;
+      record.arm = c.choice.arm;
+      record.accepted = c.outcome.Passed();
+      report->records.push_back(std::move(record));
 
-    GenerationRecord record;
-    record.target_values = target;
-    record.embedding = embedding;
-    record.latent_realism = generation->latent_realism;
-    record.distribution_pass = outcome.distribution_pass;
-    record.quality_pass = outcome.quality_pass;
-    record.quality_p_value = outcome.quality_p_value;
-    record.decision_value = outcome.decision_value;
-    record.arm = choice->arm;
-    record.accepted = outcome.Passed();
-    report->records.push_back(std::move(record));
+      if (!c.outcome.Passed()) continue;
 
-    if (!outcome.Passed()) continue;
-
-    data::Tuple tuple;
-    tuple.values = target;
-    tuple.embedding = embedding;
-    tuple.synthetic = true;
-    CHAMELEON_RETURN_NOT_OK(corpus->Add(std::move(tuple),
-                                        std::move(generation->image),
-                                        generation->latent_realism));
-    ++report->accepted;
-    ++accepted_here;
+      data::Tuple tuple;
+      tuple.values = target;
+      tuple.embedding = c.embedding;
+      tuple.synthetic = true;
+      CHAMELEON_RETURN_NOT_OK(corpus->Add(std::move(tuple),
+                                          std::move(c.image),
+                                          c.latent_realism));
+      ++report->accepted;
+      ++accepted_here;
+    }
   }
   return accepted_here;
 }
@@ -101,6 +166,7 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   coverage::MupFinder finder(schema, counter);
   coverage::MupFinderOptions mup_options;
   mup_options.tau = options_.tau;
+  mup_options.num_threads = options_.num_threads;
   const std::vector<coverage::Mup> all_mups = finder.FindMups(mup_options);
   report.initial_mups = coverage::MupFinder::MinLevel(all_mups);
   if (report.initial_mups.empty()) {

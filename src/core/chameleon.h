@@ -39,6 +39,19 @@ struct ChameleonOptions {
   int64_t max_queries = 50000;
   int64_t max_attempts_per_tuple = 40;
   uint64_t seed = 99;
+  /// Worker count for the parallel stages (MUP detection and the
+  /// rejection loop's candidate evaluation): 0 = hardware concurrency
+  /// (the default), 1 = serial. For any fixed rejection_batch the run is
+  /// bit-identical at every setting — the batch structure and merge
+  /// order never depend on the worker count.
+  int num_threads = 0;
+  /// Candidates evaluated (embed + rejection tests) per batch of the
+  /// generate→embed→reject loop. 1 (the default) is the exact legacy
+  /// serial loop. Larger batches unlock parallel evaluation but delay
+  /// bandit feedback and corpus growth until the batch's deterministic
+  /// in-order merge, so runs with different batch sizes may diverge;
+  /// runs with different num_threads never do.
+  int rejection_batch = 1;
 };
 
 /// One generated tuple's audit record: everything the benchmarks need to

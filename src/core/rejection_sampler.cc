@@ -25,21 +25,36 @@ bool RejectionSampler::DistributionTest(
 
 stats::TTestResult RejectionSampler::QualityTest(double latent_realism,
                                                  util::Rng* rng) const {
-  const std::vector<int> labels = evaluators_->Evaluate(
-      latent_realism, options_.evaluations_per_tuple, rng);
-  return stats::OneSampleTTestLower(labels, p_);
+  return stats::OneSampleTTestLower(DrawQualityLabels(latent_realism, rng),
+                                    p_);
+}
+
+std::vector<int> RejectionSampler::DrawQualityLabels(double latent_realism,
+                                                     util::Rng* rng) const {
+  return evaluators_->Evaluate(latent_realism,
+                               options_.evaluations_per_tuple, rng);
+}
+
+RejectionOutcome RejectionSampler::EvaluateWithLabels(
+    const std::vector<double>& embedding,
+    const std::vector<int>& labels) const {
+  RejectionOutcome outcome;
+  outcome.decision_value = svm_.DecisionValue(embedding);
+  // The SVM owns the acceptance rule; comparing against a literal 0 here
+  // would diverge from DistributionTest whenever the configured
+  // decision_threshold is non-zero.
+  outcome.distribution_pass = svm_.Accepts(outcome.decision_value);
+  const stats::TTestResult t = stats::OneSampleTTestLower(labels, p_);
+  outcome.quality_p_value = t.p_value;
+  outcome.quality_pass = !t.Rejects(options_.quality_alpha);
+  return outcome;
 }
 
 RejectionOutcome RejectionSampler::Evaluate(
     const std::vector<double>& embedding, double latent_realism,
     util::Rng* rng) const {
-  RejectionOutcome outcome;
-  outcome.decision_value = svm_.DecisionValue(embedding);
-  outcome.distribution_pass = outcome.decision_value >= 0.0;
-  const stats::TTestResult t = QualityTest(latent_realism, rng);
-  outcome.quality_p_value = t.p_value;
-  outcome.quality_pass = !t.Rejects(options_.quality_alpha);
-  return outcome;
+  return EvaluateWithLabels(embedding,
+                            DrawQualityLabels(latent_realism, rng));
 }
 
 }  // namespace chameleon::core

@@ -52,7 +52,20 @@ class RejectionSampler {
   /// given latent realism and runs the lower-tail t-test against p.
   stats::TTestResult QualityTest(double latent_realism, util::Rng* rng) const;
 
-  /// Both tests.
+  /// Draws the N evaluator labels for one tuple — the only rng-consuming
+  /// part of Evaluate, split out so a batched pipeline can draw labels
+  /// serially (preserving the master rng stream) and run the pure
+  /// EvaluateWithLabels part concurrently.
+  std::vector<int> DrawQualityLabels(double latent_realism,
+                                     util::Rng* rng) const;
+
+  /// Both tests on pre-drawn labels. Pure and thread-safe: no rng, no
+  /// mutable state.
+  RejectionOutcome EvaluateWithLabels(const std::vector<double>& embedding,
+                                      const std::vector<int>& labels) const;
+
+  /// Both tests. Equivalent to EvaluateWithLabels(embedding,
+  /// DrawQualityLabels(latent_realism, rng)).
   RejectionOutcome Evaluate(const std::vector<double>& embedding,
                             double latent_realism, util::Rng* rng) const;
 

@@ -4,23 +4,49 @@
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "src/util/thread_pool.h"
 
 namespace chameleon::coverage {
+namespace {
+
+/// Patterns per ParallelFor chunk when counting a frontier level. Small
+/// enough to balance skewed posting-list sizes, large enough to amortize
+/// dispatch.
+constexpr int64_t kCountGrain = 8;
+
+void SortMups(std::vector<Mup>* mups) {
+  std::sort(mups->begin(), mups->end(), [](const Mup& a, const Mup& b) {
+    if (a.Level() != b.Level()) return a.Level() < b.Level();
+    return a.pattern < b.pattern;
+  });
+}
+
+}  // namespace
 
 MupFinder::MupFinder(const data::AttributeSchema& schema,
                      const PatternCounter& counter)
     : schema_(&schema), counter_(&counter) {}
 
 std::vector<Mup> MupFinder::FindMups(const MupFinderOptions& options) const {
+  const int num_threads = util::ThreadPool::ResolveThreadCount(
+      options.num_threads);
+  if (num_threads <= 1) return FindMupsSerial(options);
+  return FindMupsParallel(options, num_threads);
+}
+
+std::vector<Mup> MupFinder::FindMupsSerial(
+    const MupFinderOptions& options) const {
   const int d = schema_->num_attributes();
   const int max_level = options.max_level < 0 ? d : options.max_level;
-  last_count_queries_ = 0;
+  last_count_queries_.store(0, std::memory_order_relaxed);
 
   std::unordered_map<data::Pattern, int64_t, data::PatternHash> count_cache;
   auto count_of = [&](const data::Pattern& p) {
     auto it = count_cache.find(p);
     if (it != count_cache.end()) return it->second;
-    ++last_count_queries_;
+    last_count_queries_.fetch_add(1, std::memory_order_relaxed);
     const int64_t c = counter_->Count(p);
     count_cache.emplace(p, c);
     return c;
@@ -64,10 +90,90 @@ std::vector<Mup> MupFinder::FindMups(const MupFinderOptions& options) const {
     }
   }
 
-  std::sort(mups.begin(), mups.end(), [](const Mup& a, const Mup& b) {
-    if (a.Level() != b.Level()) return a.Level() < b.Level();
-    return a.pattern < b.pattern;
-  });
+  SortMups(&mups);
+  return mups;
+}
+
+std::vector<Mup> MupFinder::FindMupsParallel(const MupFinderOptions& options,
+                                             int num_threads) const {
+  const int d = schema_->num_attributes();
+  const int max_level = options.max_level < 0 ? d : options.max_level;
+  last_count_queries_.store(0, std::memory_order_relaxed);
+
+  util::ThreadPool pool(num_threads);
+  std::unordered_map<data::Pattern, int64_t, data::PatternHash> counts;
+
+  // Counts a batch of distinct uncached patterns: the Count() calls fan
+  // out over the pool into per-index slots, then merge into the cache in
+  // batch order (deterministic for every worker count).
+  auto count_batch = [&](const std::vector<data::Pattern>& batch) {
+    if (batch.empty()) return;
+    std::vector<int64_t> results(batch.size(), 0);
+    pool.ParallelFor(static_cast<int64_t>(batch.size()), kCountGrain,
+                     [&](int64_t begin, int64_t end, int64_t /*chunk*/) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         results[i] = counter_->Count(batch[i]);
+                       }
+                     });
+    last_count_queries_.fetch_add(static_cast<int64_t>(batch.size()),
+                                  std::memory_order_relaxed);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      counts.emplace(batch[i], results[i]);
+    }
+  };
+
+  std::vector<Mup> mups;
+  std::unordered_set<data::Pattern, data::PatternHash> visited;
+  std::vector<data::Pattern> frontier;
+  frontier.emplace_back(d);
+  visited.insert(frontier[0]);
+  count_batch(frontier);
+
+  // Level-synchronous BFS over the same node set the serial traversal
+  // visits: each level's counts (and the parent counts its uncovered
+  // members need for the MUP predicate) are computed in parallel.
+  while (!frontier.empty()) {
+    std::vector<data::Pattern> missing_parents;
+    std::unordered_set<data::Pattern, data::PatternHash> requested;
+    for (const auto& pattern : frontier) {
+      if (counts.at(pattern) >= options.tau) continue;
+      for (auto& parent : pattern.Parents()) {
+        if (counts.find(parent) == counts.end() &&
+            requested.insert(parent).second) {
+          missing_parents.push_back(std::move(parent));
+        }
+      }
+    }
+    count_batch(missing_parents);
+
+    std::vector<data::Pattern> next;
+    for (const auto& pattern : frontier) {
+      const int64_t count = counts.at(pattern);
+      if (count >= options.tau) {
+        if (pattern.Level() >= max_level) continue;
+        for (auto& child : pattern.Children(*schema_)) {
+          if (visited.insert(child).second) {
+            next.push_back(std::move(child));
+          }
+        }
+        continue;
+      }
+      bool all_parents_covered = true;
+      for (const auto& parent : pattern.Parents()) {
+        if (counts.at(parent) < options.tau) {
+          all_parents_covered = false;
+          break;
+        }
+      }
+      if (all_parents_covered) {
+        mups.push_back(Mup{pattern, count, options.tau - count});
+      }
+    }
+    count_batch(next);
+    frontier = std::move(next);
+  }
+
+  SortMups(&mups);
   return mups;
 }
 
@@ -103,10 +209,7 @@ std::vector<Mup> MupFinder::FindMupsNaive(const MupFinderOptions& options) const
     for (const auto& p : current) consider(p);
   }
 
-  std::sort(mups.begin(), mups.end(), [](const Mup& a, const Mup& b) {
-    if (a.Level() != b.Level()) return a.Level() < b.Level();
-    return a.pattern < b.pattern;
-  });
+  SortMups(&mups);
   return mups;
 }
 

@@ -1,6 +1,7 @@
 #ifndef CHAMELEON_COVERAGE_MUP_FINDER_H_
 #define CHAMELEON_COVERAGE_MUP_FINDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,13 @@ struct MupFinderOptions {
   int64_t tau = 50;
   /// Only report MUPs at level <= max_level (d by default, i.e. all).
   int max_level = -1;
+  /// Worker count for frontier counting: 0 = hardware concurrency
+  /// (the default), 1 = the exact legacy serial traversal. The reported
+  /// MUPs (patterns, counts, gaps, order) are identical at every setting;
+  /// only last_count_queries() may differ between the serial and parallel
+  /// traversals (the parallel one prefetches parent counts instead of
+  /// short-circuiting).
+  int num_threads = 0;
 };
 
 /// One discovered Maximal Uncovered Pattern with its coverage count and
@@ -33,6 +41,8 @@ struct Mup {
 ///
 ///  * FindMups       — top-down lattice BFS expanding only covered nodes,
 ///                     with memoized counts (the practical algorithm).
+///                     With num_threads > 1 each BFS level's candidate
+///                     patterns are counted in parallel.
 ///  * FindMupsNaive  — full lattice materialization with the same MUP
 ///                     predicate, used as a correctness oracle in tests
 ///                     and as the ablation baseline in benchmarks.
@@ -47,13 +57,19 @@ class MupFinder {
   static std::vector<Mup> MinLevel(const std::vector<Mup>& mups);
 
   /// Number of Count() calls issued by the last FindMups invocation
-  /// (diagnostic; not thread-safe).
-  int64_t last_count_queries() const { return last_count_queries_; }
+  /// (diagnostic; atomic so the parallel traversal can tally safely).
+  int64_t last_count_queries() const {
+    return last_count_queries_.load(std::memory_order_relaxed);
+  }
 
  private:
+  std::vector<Mup> FindMupsSerial(const MupFinderOptions& options) const;
+  std::vector<Mup> FindMupsParallel(const MupFinderOptions& options,
+                                    int num_threads) const;
+
   const data::AttributeSchema* schema_;
   const PatternCounter* counter_;
-  mutable int64_t last_count_queries_ = 0;
+  mutable std::atomic<int64_t> last_count_queries_{0};
 };
 
 }  // namespace chameleon::coverage

@@ -1,6 +1,8 @@
 #include "src/coverage/pattern_counter.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace chameleon::coverage {
 
@@ -14,15 +16,35 @@ PatternCounter::PatternCounter(const data::AttributeSchema& schema)
 
 PatternCounter PatternCounter::FromDataset(const data::Dataset& dataset) {
   PatternCounter counter(dataset.schema());
-  for (const auto& t : dataset.tuples()) counter.AddTuple(t.values);
+  for (const auto& t : dataset.tuples()) {
+    // Dataset::Add validated every tuple against the same schema, so a
+    // failure here is a programming error, not recoverable input.
+    const util::Status status = counter.AddTuple(t.values);
+    if (!status.ok()) {
+      std::fprintf(stderr, "PatternCounter::FromDataset: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
   return counter;
 }
 
-void PatternCounter::AddTuple(const std::vector<int>& values) {
+util::Status PatternCounter::AddTuple(const std::vector<int>& values) {
+  if (static_cast<int>(values.size()) != schema_->num_attributes()) {
+    return util::Status::InvalidArgument(
+        "tuple arity does not match the schema");
+  }
+  for (int a = 0; a < schema_->num_attributes(); ++a) {
+    if (values[a] < 0 || values[a] >= schema_->attribute(a).cardinality()) {
+      return util::Status::InvalidArgument(
+          "value out of domain for attribute " + schema_->attribute(a).name);
+    }
+  }
   for (int a = 0; a < schema_->num_attributes(); ++a) {
     postings_[a][values[a]].push_back(num_tuples_);
   }
   ++num_tuples_;
+  return util::Status::Ok();
 }
 
 const std::vector<int64_t>& PatternCounter::Postings(int attribute,

@@ -7,6 +7,7 @@
 #include "src/data/dataset.h"
 #include "src/data/pattern.h"
 #include "src/data/schema.h"
+#include "src/util/status.h"
 
 namespace chameleon::coverage {
 
@@ -26,7 +27,10 @@ class PatternCounter {
 
   /// Registers one tuple's attribute values. Ids are assigned in call
   /// order and must be appended in increasing order (as Dataset does).
-  void AddTuple(const std::vector<int>& values);
+  /// Returns InvalidArgument — indexing nothing — when the tuple's arity
+  /// or any value falls outside the schema (an unchecked write here would
+  /// be out-of-bounds UB).
+  util::Status AddTuple(const std::vector<int>& values);
 
   /// Number of indexed tuples.
   int64_t num_tuples() const { return num_tuples_; }

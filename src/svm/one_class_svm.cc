@@ -3,29 +3,54 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+
+#include "src/util/thread_pool.h"
 
 namespace chameleon::svm {
 namespace {
+
+/// Rows per ParallelFor chunk when materializing the Gram matrix. The
+/// upper triangle makes early rows more expensive, so chunks stay small
+/// to load-balance.
+constexpr int64_t kGramGrain = 16;
+
+/// Points per chunk for batch scoring.
+constexpr int64_t kScoreGrain = 32;
+
+/// Don't bother spinning up workers for Gram matrices this small.
+constexpr size_t kMinParallelGramCells = 1u << 14;
 
 /// Kernel matrix with optional full materialization: row access is O(1)
 /// when cached, O(n * dim) otherwise.
 class KernelCache {
  public:
   KernelCache(const std::vector<std::vector<double>>& points,
-              const Kernel& kernel)
+              const Kernel& kernel, util::ThreadPool* pool)
       : points_(points), kernel_(kernel) {
     const size_t n = points.size();
     // ~64 MB of doubles at most.
     cache_full_ = n * n <= (8u << 20);
-    if (cache_full_) {
-      matrix_.assign(n * n, 0.0);
-      for (size_t i = 0; i < n; ++i) {
+    if (!cache_full_) return;
+    matrix_.assign(n * n, 0.0);
+    // Row i fills its upper-triangle segment and mirrors it into column
+    // i, so every cell is written by exactly one row — chunking rows is
+    // race-free and the result is identical at every worker count.
+    auto fill_rows = [&](int64_t begin, int64_t end, int64_t /*chunk*/) {
+      for (size_t i = static_cast<size_t>(begin);
+           i < static_cast<size_t>(end); ++i) {
         for (size_t j = i; j < n; ++j) {
           const double k = kernel_.Evaluate(points_[i], points_[j]);
           matrix_[i * n + j] = k;
           matrix_[j * n + i] = k;
         }
       }
+    };
+    if (pool != nullptr && pool->num_threads() > 1 &&
+        n * n >= kMinParallelGramCells) {
+      pool->ParallelFor(static_cast<int64_t>(n), kGramGrain, fill_rows);
+    } else {
+      fill_rows(0, static_cast<int64_t>(n), 0);
     }
   }
 
@@ -112,7 +137,14 @@ util::Result<OneClassSvm> OneClassSvm::Train(
   }
 
   const double upper = 1.0 / (options.nu * static_cast<double>(n));
-  KernelCache cache(*train_points, options.kernel);
+  const int num_threads = util::ThreadPool::ResolveThreadCount(
+      options.num_threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (num_threads > 1 && n * n >= kMinParallelGramCells) {
+    pool = std::make_unique<util::ThreadPool>(num_threads);
+  }
+  KernelCache cache(*train_points, options.kernel, pool.get());
+  pool.reset();  // SMO below is inherently sequential.
 
   // LIBSVM initialization: the first floor(nu*n) alphas at the upper
   // bound, the next takes the remainder so that sum(alpha) = 1.
@@ -213,6 +245,7 @@ util::Result<OneClassSvm> OneClassSvm::Train(
   OneClassSvm model;
   model.kernel_ = options.kernel;
   model.rho_ = rho;
+  model.decision_threshold_ = options.decision_threshold;
   model.standardize_ = options.standardize;
   model.feature_mean_ = std::move(feature_mean);
   model.feature_scale_ = std::move(feature_scale);
@@ -247,8 +280,26 @@ double OneClassSvm::DecisionValue(const std::vector<double>& x) const {
   return sum - rho_;
 }
 
+std::vector<double> OneClassSvm::DecisionValues(
+    const std::vector<std::vector<double>>& points, int num_threads) const {
+  std::vector<double> values(points.size(), 0.0);
+  const int threads = util::ThreadPool::ResolveThreadCount(num_threads);
+  auto score = [&](int64_t begin, int64_t end, int64_t /*chunk*/) {
+    for (int64_t i = begin; i < end; ++i) {
+      values[i] = DecisionValue(points[i]);
+    }
+  };
+  if (threads > 1 && static_cast<int64_t>(points.size()) > kScoreGrain) {
+    util::ThreadPool pool(threads);
+    pool.ParallelFor(static_cast<int64_t>(points.size()), kScoreGrain, score);
+  } else {
+    score(0, static_cast<int64_t>(points.size()), 0);
+  }
+  return values;
+}
+
 bool OneClassSvm::Accepts(const std::vector<double>& x) const {
-  return DecisionValue(x) >= 0.0;
+  return Accepts(DecisionValue(x));
 }
 
 }  // namespace chameleon::svm

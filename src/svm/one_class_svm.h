@@ -27,6 +27,17 @@ struct OneClassSvmOptions {
   /// linear kernel degenerate; RBF kernels are translation-invariant and
   /// unaffected by the missing centering.
   bool standardize = true;
+  /// Acceptance rule: a point is in-distribution when
+  /// f(x) >= decision_threshold. 0 is the classic boundary; positive
+  /// values tighten the data distribution test, negative values loosen
+  /// it. Every consumer must gate through Accepts() rather than
+  /// hard-coding the threshold.
+  double decision_threshold = 0.0;
+  /// Worker count for Gram-matrix construction in Train: 0 = hardware
+  /// concurrency (the default), 1 = serial. Every Gram entry is computed
+  /// independently, so the trained model is bit-identical at every
+  /// setting.
+  int num_threads = 0;
 };
 
 /// Diagnostics from training.
@@ -53,10 +64,26 @@ class OneClassSvm {
   /// Signed decision value f(x).
   double DecisionValue(const std::vector<double>& x) const;
 
-  /// The data distribution test: true iff f(x) >= 0.
+  /// Batch scoring: f(x) for every point, chunked over a thread pool
+  /// when num_threads != 1 (0 = hardware concurrency). Each point is
+  /// scored independently, so the result is bit-identical to calling
+  /// DecisionValue in a loop at every worker count.
+  std::vector<double> DecisionValues(
+      const std::vector<std::vector<double>>& points,
+      int num_threads = 1) const;
+
+  /// The data distribution test: true iff f(x) >= decision_threshold.
   bool Accepts(const std::vector<double>& x) const;
 
+  /// The same acceptance rule applied to an already-computed decision
+  /// value — the single authority consumers must route through instead
+  /// of comparing against a hard-coded 0.
+  bool Accepts(double decision_value) const {
+    return decision_value >= decision_threshold_;
+  }
+
   double rho() const { return rho_; }
+  double decision_threshold() const { return decision_threshold_; }
   const OneClassSvmStats& stats() const { return stats_; }
   const Kernel& kernel() const { return kernel_; }
   int num_support_vectors() const {
@@ -70,6 +97,7 @@ class OneClassSvm {
 
   Kernel kernel_;
   double rho_ = 0.0;
+  double decision_threshold_ = 0.0;
   std::vector<std::vector<double>> support_vectors_;  // standardized space
   std::vector<double> alphas_;
   OneClassSvmStats stats_;

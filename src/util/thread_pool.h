@@ -1,0 +1,78 @@
+#ifndef CHAMELEON_UTIL_THREAD_POOL_H_
+#define CHAMELEON_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace chameleon::util {
+
+/// Fixed-size worker pool shared by the parallel pipeline stages (MUP
+/// frontier counting, OCSVM Gram construction and batch scoring, the
+/// rejection loop's candidate evaluation).
+///
+/// Determinism contract: `ParallelFor` splits the index range into chunks
+/// whose boundaries depend only on (total, grain) — never on the worker
+/// count — and `ParallelForSeeded` derives one Rng per chunk from the base
+/// seed serially, in chunk order. A body that writes per-index or
+/// per-chunk outputs therefore produces bit-identical results at every
+/// `num_threads`, including 1 (which runs inline with no pool traffic).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency() clamped to >= 1.
+  static int HardwareConcurrency();
+
+  /// Maps the num_threads convention used by the options structs
+  /// (0 = hardware concurrency, otherwise the value clamped to >= 1).
+  static int ResolveThreadCount(int num_threads);
+
+  /// Enqueues one task; the future resolves when it has run.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Invokes body(begin, end, chunk) for every chunk [begin, end) of
+  /// [0, total) with the given grain. At most num_threads() chunks run
+  /// concurrently (the calling thread participates); returns once all
+  /// chunks finished. The body must only write state disjoint across
+  /// chunks (e.g. per-index slots of a preallocated output).
+  void ParallelFor(
+      int64_t total, int64_t grain,
+      const std::function<void(int64_t, int64_t, int64_t)>& body);
+
+  /// ParallelFor handing each chunk an independent Rng. Chunk seeds are
+  /// drawn serially in chunk order from Rng(seed) — the splitmix64-based
+  /// seeding makes the per-chunk streams independent and identical at
+  /// every worker count.
+  void ParallelForSeeded(
+      uint64_t seed, int64_t total, int64_t grain,
+      const std::function<void(int64_t, int64_t, int64_t, Rng*)>& body);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace chameleon::util
+
+#endif  // CHAMELEON_UTIL_THREAD_POOL_H_

@@ -187,6 +187,81 @@ TEST(ChameleonChallengeTest, ResolvesDesignedLevel3Mups) {
 }
 
 
+// Runs one full repair on a fresh FERET corpus with the given threading
+// configuration and returns the report (plus the resulting corpus size
+// via *out_synthetic).
+RepairReport RunSeededRepair(int num_threads, int rejection_batch,
+                             int64_t* out_synthetic) {
+  embedding::SimulatedEmbedder embedder;
+  fm::EvaluatorPool evaluators(2024);
+  fm::Corpus corpus = *datasets::MakeFeret(&embedder, datasets::FeretOptions());
+  fm::SimulatedFoundationModel model(corpus.dataset.schema(),
+                                     datasets::FeretFaceStyleFn(),
+                                     datasets::FeretScene(),
+                                     fm::SimulatedFoundationModel::Options());
+  ChameleonOptions options;
+  options.tau = 40;
+  options.seed = 11;
+  options.num_threads = num_threads;
+  options.rejection_batch = rejection_batch;
+  Chameleon system(&model, &embedder, &evaluators, options);
+  auto report = system.RepairMinLevelMups(&corpus);
+  EXPECT_TRUE(report.ok());
+  *out_synthetic = corpus.dataset.NumSynthetic();
+  return *report;
+}
+
+void ExpectReportsBitIdentical(const RepairReport& a, const RepairReport& b) {
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.distribution_passes, b.distribution_passes);
+  EXPECT_EQ(a.quality_passes, b.quality_passes);
+  EXPECT_EQ(a.estimated_p, b.estimated_p);
+  EXPECT_EQ(a.fully_resolved, b.fully_resolved);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].target_values, b.records[i].target_values);
+    EXPECT_EQ(a.records[i].embedding, b.records[i].embedding);
+    EXPECT_EQ(a.records[i].decision_value, b.records[i].decision_value);
+    EXPECT_EQ(a.records[i].quality_p_value, b.records[i].quality_p_value);
+    EXPECT_EQ(a.records[i].arm, b.records[i].arm);
+    EXPECT_EQ(a.records[i].accepted, b.records[i].accepted);
+  }
+}
+
+TEST(ChameleonDeterminismTest, ParallelRunIsBitIdenticalToSerial) {
+  // The determinism contract: for a fixed rejection_batch, the worker
+  // count must not change a single bit of the run — candidates are
+  // submitted serially and merged in submission order.
+  int64_t serial_synthetic = 0;
+  const RepairReport serial =
+      RunSeededRepair(/*num_threads=*/1, /*rejection_batch=*/4,
+                      &serial_synthetic);
+  for (int threads : {2, 4}) {
+    int64_t parallel_synthetic = 0;
+    const RepairReport parallel =
+        RunSeededRepair(threads, /*rejection_batch=*/4, &parallel_synthetic);
+    ExpectReportsBitIdentical(serial, parallel);
+    EXPECT_EQ(serial_synthetic, parallel_synthetic);
+  }
+}
+
+TEST(ChameleonDeterminismTest, BatchOfOneIsTheLegacySerialLoop) {
+  // rejection_batch = 1 must reproduce the pre-batching loop exactly,
+  // at every thread count (no pool is even constructed).
+  int64_t legacy_synthetic = 0;
+  const RepairReport legacy =
+      RunSeededRepair(/*num_threads=*/1, /*rejection_batch=*/1,
+                      &legacy_synthetic);
+  int64_t threaded_synthetic = 0;
+  const RepairReport threaded =
+      RunSeededRepair(/*num_threads=*/4, /*rejection_batch=*/1,
+                      &threaded_synthetic);
+  ExpectReportsBitIdentical(legacy, threaded);
+  EXPECT_EQ(legacy_synthetic, threaded_synthetic);
+  EXPECT_GT(legacy.accepted, 0);
+}
+
 TEST_F(ChameleonFeretTest, IterativeRepairWorksDownTheLattice) {
   // §4's iterative scheme: each RepairMinLevelMups round resolves the
   // smallest-level MUPs; repeating drains the whole lattice.

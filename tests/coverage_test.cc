@@ -70,9 +70,9 @@ TEST(PatternCounterTest, IncrementalAddKeepsCountsInSync) {
   const auto schema = BinarySchema(2);
   PatternCounter counter(schema);
   EXPECT_EQ(counter.Count(data::Pattern(2)), 0);
-  counter.AddTuple({0, 1});
-  counter.AddTuple({0, 1});
-  counter.AddTuple({1, 0});
+  EXPECT_TRUE(counter.AddTuple({0, 1}).ok());
+  EXPECT_TRUE(counter.AddTuple({0, 1}).ok());
+  EXPECT_TRUE(counter.AddTuple({1, 0}).ok());
   EXPECT_EQ(counter.Count(data::Pattern({0, 1})), 2);
   EXPECT_EQ(counter.Count(data::Pattern({0, data::Pattern::kUnspecified})),
             2);
@@ -209,6 +209,71 @@ TEST_P(MupAgreementTest, LatticeMatchesNaive) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MupAgreementTest,
                          ::testing::Range(1, 13));
 
+
+TEST(PatternCounterTest, AddTupleRejectsOutOfDomainValues) {
+  // Regression: these writes used to be unchecked out-of-bounds indexing
+  // into the posting lists.
+  const auto schema = BinarySchema(2);
+  PatternCounter counter(schema);
+  EXPECT_FALSE(counter.AddTuple({0, 2}).ok());   // value beyond cardinality
+  EXPECT_FALSE(counter.AddTuple({-1, 0}).ok());  // negative value
+  EXPECT_FALSE(counter.AddTuple({0}).ok());      // too few values
+  EXPECT_FALSE(counter.AddTuple({0, 1, 1}).ok());  // too many values
+  EXPECT_FALSE(counter.AddTuple({}).ok());
+  // Nothing was indexed by the rejected tuples.
+  EXPECT_EQ(counter.num_tuples(), 0);
+  EXPECT_EQ(counter.Count(data::Pattern(2)), 0);
+  // A valid tuple still goes through afterwards.
+  EXPECT_TRUE(counter.AddTuple({0, 1}).ok());
+  EXPECT_EQ(counter.num_tuples(), 1);
+  EXPECT_EQ(counter.Count(data::Pattern({0, 1})), 1);
+}
+
+// The parallel frontier traversal must report exactly the serial MUPs —
+// same patterns, counts, gaps, and order — across random datasets.
+class MupParallelAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MupParallelAgreementTest, ParallelMatchesSerial) {
+  const uint64_t seed = GetParam();
+  const int d = 3 + static_cast<int>(seed % 3);
+  const auto schema = BinarySchema(d);
+  const auto dataset = RandomDataset(schema, 800, seed);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 20 + static_cast<int64_t>(seed % 5) * 40;
+
+  options.num_threads = 1;
+  const auto serial = finder.FindMups(options);
+  for (int threads : {2, 4}) {
+    options.num_threads = threads;
+    const auto parallel = finder.FindMups(options);
+    EXPECT_GT(finder.last_count_queries(), 0);
+    ASSERT_EQ(serial.size(), parallel.size()) << "threads=" << threads;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].pattern, parallel[i].pattern);
+      EXPECT_EQ(serial[i].count, parallel[i].count);
+      EXPECT_EQ(serial[i].gap, parallel[i].gap);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MupParallelAgreementTest,
+                         ::testing::Range(1, 9));
+
+TEST(MupFinderTest, ParallelRespectsMaxLevel) {
+  const auto schema = BinarySchema(5);
+  const auto dataset = RandomDataset(schema, 2000, 21);
+  const auto counter = PatternCounter::FromDataset(dataset);
+  MupFinder finder(schema, counter);
+  MupFinderOptions options;
+  options.tau = 60;
+  options.max_level = 2;
+  options.num_threads = 4;
+  for (const auto& m : finder.FindMups(options)) {
+    EXPECT_LE(m.Level(), 2);
+  }
+}
 
 TEST(MupFinderTest, LatticeIssuesFewerCountsThanFullMaterialization) {
   // The efficiency claim behind the BFS: covered-node expansion prunes

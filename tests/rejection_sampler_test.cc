@@ -119,6 +119,60 @@ TEST_F(RejectionSamplerTest, EvaluateCombinesBothTests) {
   EXPECT_LT(quality_passes, 10);
 }
 
+TEST_F(RejectionSamplerTest, EvaluateAgreesWithDistributionTestUnderNonZeroThreshold) {
+  // Regression: Evaluate used to hard-code `decision_value >= 0.0` while
+  // DistributionTest delegated to OneClassSvm::Accepts, so the two
+  // disagreed whenever the SVM's acceptance rule was anything but a zero
+  // threshold. Both must route through the SVM.
+  RejectionSamplerOptions options;
+  options.svm.nu = 0.3;
+  options.svm.decision_threshold = 1.0;  // stricter than any f(x)
+  auto sampler = RejectionSampler::Train(MakeCloud(300, 0.0, 1.0, 1),
+                                         &evaluators_, 0.86, options);
+  ASSERT_TRUE(sampler.ok());
+
+  util::Rng rng(77);
+  const std::vector<double> centroid(8, 0.0);
+  // The centroid scores f >= 0 but below the 1.0 threshold: the old
+  // duplicated logic reported distribution_pass = true here.
+  const RejectionOutcome outcome = sampler->Evaluate(centroid, 1.0, &rng);
+  EXPECT_GE(outcome.decision_value, 0.0);
+  EXPECT_LT(outcome.decision_value, 1.0);
+  EXPECT_FALSE(outcome.distribution_pass);
+  EXPECT_EQ(outcome.distribution_pass, sampler->DistributionTest(centroid));
+  EXPECT_FALSE(outcome.Passed());
+
+  // Property: the two code paths agree on arbitrary embeddings.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> e(8);
+    for (double& v : e) v = rng.NextGaussian(0.0, 3.0);
+    EXPECT_EQ(sampler->Evaluate(e, 1.0, &rng).distribution_pass,
+              sampler->DistributionTest(e));
+  }
+}
+
+TEST_F(RejectionSamplerTest, EvaluateWithLabelsMatchesEvaluate) {
+  auto sampler = MakeSampler();
+  ASSERT_TRUE(sampler.ok());
+  const std::vector<double> embedding(8, 0.3);
+  for (double realism : {0.3, 0.8, 1.1}) {
+    util::Rng rng_a(41);
+    util::Rng rng_b(41);
+    const RejectionOutcome direct =
+        sampler->Evaluate(embedding, realism, &rng_a);
+    const std::vector<int> labels =
+        sampler->DrawQualityLabels(realism, &rng_b);
+    const RejectionOutcome split =
+        sampler->EvaluateWithLabels(embedding, labels);
+    EXPECT_EQ(direct.distribution_pass, split.distribution_pass);
+    EXPECT_EQ(direct.quality_pass, split.quality_pass);
+    EXPECT_EQ(direct.decision_value, split.decision_value);
+    EXPECT_EQ(direct.quality_p_value, split.quality_p_value);
+    // Both consumed the same rng draws.
+    EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64());
+  }
+}
+
 TEST_F(RejectionSamplerTest, AccessorsExposeConfiguration) {
   auto sampler = MakeSampler(0.25);
   ASSERT_TRUE(sampler.ok());

@@ -141,6 +141,46 @@ TEST(TTestTest, TooFewSamplesNeverRejects) {
   EXPECT_FALSE(OneSampleTTestLower(std::vector<int>{}, 0.9).Rejects(0.4));
 }
 
+TEST(TTestTest, DegenerateSampleSizesReportNoEvidence) {
+  const auto empty = OneSampleTTestLower(std::vector<double>{}, 0.5);
+  EXPECT_DOUBLE_EQ(empty.p_value, 1.0);
+  EXPECT_EQ(empty.degrees_of_freedom, 0);
+  EXPECT_DOUBLE_EQ(empty.t_statistic, 0.0);
+
+  // A single sample has no variance estimate: p = 1 regardless of how
+  // far the observation sits from mu0, on either side.
+  for (double sample : {0.0, 0.5, 1.0}) {
+    const auto single =
+        OneSampleTTestLower(std::vector<double>{sample}, 0.5);
+    EXPECT_DOUBLE_EQ(single.p_value, 1.0) << "sample=" << sample;
+    EXPECT_EQ(single.degrees_of_freedom, 0);
+    EXPECT_DOUBLE_EQ(single.sample_mean, sample);
+  }
+}
+
+TEST(TTestTest, ZeroVarianceBranchesByVerdictPosition) {
+  // Unanimous raters below mu0: certain rejection with a -inf-like t.
+  const auto below = OneSampleTTestLower(std::vector<double>(5, 0.4), 0.86);
+  EXPECT_DOUBLE_EQ(below.p_value, 0.0);
+  EXPECT_LT(below.t_statistic, -1e8);
+  EXPECT_EQ(below.degrees_of_freedom, 4);
+  EXPECT_TRUE(below.Rejects(0.01));
+
+  // Unanimous raters exactly at mu0: no evidence against the null.
+  // (0.75 is exactly representable, so the sample mean equals mu0
+  // bit-for-bit and exercises the == branch.)
+  const auto at = OneSampleTTestLower(std::vector<double>(5, 0.75), 0.75);
+  EXPECT_DOUBLE_EQ(at.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(at.t_statistic, 0.0);
+  EXPECT_FALSE(at.Rejects(0.4));
+
+  // Unanimous raters above mu0: the lower-tail test can never reject.
+  const auto above = OneSampleTTestLower(std::vector<double>(5, 0.95), 0.86);
+  EXPECT_DOUBLE_EQ(above.p_value, 1.0);
+  EXPECT_GT(above.t_statistic, 1e8);
+  EXPECT_FALSE(above.Rejects(0.4));
+}
+
 TEST(TTestTest, PaperCalibration) {
   // §6.4.1: with N = 5 evaluations and p = 0.86, alpha = 0.1 behaves
   // like a majority vote (3/5 passes) while alpha = 0.4 approximates

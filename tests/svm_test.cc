@@ -166,5 +166,69 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSweepTest,
                                            KernelType::kRbf,
                                            KernelType::kSigmoid));
 
+TEST(OneClassSvmTest, ParallelTrainingIsBitIdenticalToSerial) {
+  // Every Gram entry is computed independently, so the trained model
+  // must match the serial one exactly — not approximately.
+  const auto points = GaussianCloud(256, 8, 0.0, 1.0, 17);
+  const auto queries = GaussianCloud(64, 8, 0.0, 2.0, 18);
+  OneClassSvmOptions options;
+  options.nu = 0.3;
+  options.num_threads = 1;
+  auto serial = OneClassSvm::Train(points, options);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 4}) {
+    options.num_threads = threads;
+    auto parallel = OneClassSvm::Train(points, options);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(serial->rho(), parallel->rho());
+    EXPECT_EQ(serial->num_support_vectors(), parallel->num_support_vectors());
+    EXPECT_EQ(serial->stats().iterations, parallel->stats().iterations);
+    for (const auto& q : queries) {
+      EXPECT_EQ(serial->DecisionValue(q), parallel->DecisionValue(q));
+    }
+  }
+}
+
+TEST(OneClassSvmTest, BatchScoringMatchesPointwise) {
+  const auto points = GaussianCloud(200, 6, 0.0, 1.0, 21);
+  const auto queries = GaussianCloud(150, 6, 0.0, 2.0, 22);
+  OneClassSvmOptions options;
+  options.nu = 0.3;
+  auto model = OneClassSvm::Train(points, options);
+  ASSERT_TRUE(model.ok());
+  for (int threads : {1, 4}) {
+    const auto batch = model->DecisionValues(queries, threads);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(batch[i], model->DecisionValue(queries[i]))
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(OneClassSvmTest, DecisionThresholdGatesAcceptance) {
+  const auto points = GaussianCloud(200, 4, 0.0, 1.0, 23);
+  OneClassSvmOptions options;
+  options.nu = 0.3;
+  options.decision_threshold = 1.0;  // stricter than any decision value
+  auto strict = OneClassSvm::Train(points, options);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->decision_threshold(), 1.0);
+  options.decision_threshold = 0.0;
+  auto classic = OneClassSvm::Train(points, options);
+  ASSERT_TRUE(classic.ok());
+
+  // Scores are threshold-independent; only the acceptance rule moves.
+  int classic_accepts = 0;
+  for (const auto& p : points) {
+    EXPECT_EQ(strict->DecisionValue(p), classic->DecisionValue(p));
+    EXPECT_EQ(strict->Accepts(p),
+              strict->Accepts(strict->DecisionValue(p)));
+    classic_accepts += classic->Accepts(p);
+    EXPECT_FALSE(strict->Accepts(p));
+  }
+  EXPECT_GT(classic_accepts, 0);
+}
+
 }  // namespace
 }  // namespace chameleon::svm

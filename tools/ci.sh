@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI driver: builds and runs the tier-1 test suite under each sanitizer
+# configuration. Usage:
+#
+#   tools/ci.sh            # all jobs
+#   tools/ci.sh asan       # Debug + AddressSanitizer + UBSan only
+#   tools/ci.sh tsan       # RelWithDebInfo + ThreadSanitizer only
+#   tools/ci.sh release    # plain Release build + tests only
+#
+# Each job uses its own build directory (build-ci-<job>) so sanitizer
+# runtimes never mix and incremental rebuilds stay valid.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-all}"
+PARALLEL="$(nproc 2>/dev/null || echo 2)"
+
+run_job() {
+  local name="$1" build_type="$2" flags="$3"
+  local dir="build-ci-${name}"
+  echo "==== [${name}] configure (${build_type}; flags: ${flags:-none}) ===="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${flags}" >/dev/null
+  echo "==== [${name}] build ===="
+  cmake --build "${dir}" -j "${PARALLEL}"
+  echo "==== [${name}] ctest ===="
+  ctest --test-dir "${dir}" --output-on-failure
+}
+
+case "${JOBS}" in
+  release)
+    run_job release Release ""
+    ;;
+  asan)
+    run_job asan Debug "-fsanitize=address,undefined -fno-omit-frame-pointer"
+    ;;
+  tsan)
+    # TSan is incompatible with ASan; RelWithDebInfo keeps the threaded
+    # tests fast enough while preserving stacks.
+    run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
+    ;;
+  all)
+    run_job release Release ""
+    run_job asan Debug "-fsanitize=address,undefined -fno-omit-frame-pointer"
+    run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
+    ;;
+  *)
+    echo "unknown job '${JOBS}' (expected: all | release | asan | tsan)" >&2
+    exit 2
+    ;;
+esac
+
+echo "==== CI: all requested jobs passed ===="
