@@ -137,8 +137,9 @@ int main() {
       quality_passes += outcome.quality_pass;
 
       const double reward = outcome.Passed() ? 1.0 : 0.0;
+      // Arms come from SelectArm, so updates cannot fail; benchmark loop.
       (void)linucb.Update(arm, context, reward);
-      epsilon_greedy.Update(arm, reward);
+      (void)epsilon_greedy.Update(arm, reward);
     }
 
     table.AddRow({PolicyName(policy), util::Fmt(kRounds),

@@ -120,7 +120,7 @@ int main() {
     for (const auto& record : report->records) {
       if (!record.accepted) continue;
       ++accepted;
-      realism.Add(record.latent_realism);
+      realism.Observe(record.latent_realism);
       in_dist += reference->DistributionTest(record.embedding);
     }
 

@@ -16,8 +16,12 @@ using namespace chameleon;
 data::Dataset MakeBinaryDataset(int d, int n, uint64_t seed) {
   data::AttributeSchema schema;
   for (int i = 0; i < d; ++i) {
-    (void)schema.AddAttribute(
-        {"x" + std::to_string(i), {"0", "1"}, false});
+    // += instead of operator+ dodges GCC 12's -Wrestrict false positive
+    // on char*/std::string concatenation (GCC PR105651).
+    std::string name = "x";
+    name += std::to_string(i);
+    // Benchmark fixture; the schema is valid by construction.
+    (void)schema.AddAttribute({std::move(name), {"0", "1"}, false});
   }
   data::Dataset dataset(schema);
   util::Rng rng(seed);

@@ -27,9 +27,13 @@ int EpsilonGreedy::SelectArm(util::Rng* rng) {
   return best;
 }
 
-void EpsilonGreedy::Update(int arm, double reward) {
+util::Status EpsilonGreedy::Update(int arm, double reward) {
+  if (arm < 0 || arm >= num_arms_) {
+    return util::Status::InvalidArgument("arm out of range");
+  }
   reward_sums_[arm] += reward;
   ++pulls_[arm];
+  return util::Status::Ok();
 }
 
 double EpsilonGreedy::MeanReward(int arm) const {

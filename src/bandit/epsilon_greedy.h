@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/status.h"
 
 namespace chameleon::bandit {
 
@@ -20,8 +21,9 @@ class EpsilonGreedy {
   /// Selects an arm. Unpulled arms are tried first (round-robin).
   int SelectArm(util::Rng* rng);
 
-  /// Observes a reward for an arm.
-  void Update(int arm, double reward);
+  /// Observes a reward for an arm. Rejects out-of-range arms (mirrors
+  /// LinUcb::Update, so the two bandits are interchangeable in ablations).
+  [[nodiscard]] util::Status Update(int arm, double reward);
 
   double MeanReward(int arm) const;
   int64_t pull_count(int arm) const { return pulls_[arm]; }

@@ -42,7 +42,7 @@ class LinUcb {
                 util::Rng* rng = nullptr) const;
 
   /// Observes reward r for pulling `arm` under `context`.
-  util::Status Update(int arm, const std::vector<double>& context,
+  [[nodiscard]] util::Status Update(int arm, const std::vector<double>& context,
                       double reward);
 
   int64_t pull_count(int arm) const { return pulls_[arm]; }

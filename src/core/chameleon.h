@@ -113,12 +113,12 @@ class Chameleon {
 
   /// One repair round: resolves the MUPs at the smallest level. Call
   /// repeatedly to work down the lattice (§4's iterative approach).
-  util::Result<RepairReport> RepairMinLevelMups(fm::Corpus* corpus);
+  [[nodiscard]] util::Result<RepairReport> RepairMinLevelMups(fm::Corpus* corpus);
 
   /// Generates until `count` accepted tuples of `target` are added to
   /// the corpus (or the caps trip). Exposed for benches that sweep guide
   /// strategies over a fixed plan. Returns the number accepted.
-  util::Result<int64_t> GenerateAccepted(fm::Corpus* corpus,
+  [[nodiscard]] util::Result<int64_t> GenerateAccepted(fm::Corpus* corpus,
                                          const std::vector<int>& target,
                                          int64_t count,
                                          GuideSelector* selector,

@@ -89,7 +89,7 @@ std::vector<int> FindBestCombination(const data::AttributeSchema& schema,
 // Accumulates counts into a plan keyed by combination values.
 class PlanBuilder {
  public:
-  void Add(const std::vector<int>& values, int64_t count) {
+  void AddCount(const std::vector<int>& values, int64_t count) {
     counts_[values] += count;
   }
 
@@ -144,7 +144,7 @@ CombinationPlan GreedySelect(const data::AttributeSchema& schema,
       }
     }
     if (!any) break;  // Unreachable for consistent inputs.
-    plan.Add(combination, gamma);
+    plan.AddCount(combination, gamma);
     for (auto& m : mups) {
       if (m.pattern.Matches(combination)) m.gap -= gamma;
     }
@@ -164,7 +164,7 @@ CombinationPlan RandomSelect(const data::AttributeSchema& schema,
   while (!targets.empty()) {
     const int64_t index = rng->NextBounded(schema.NumCombinations());
     const std::vector<int> values = schema.CombinationFromIndex(index);
-    plan.Add(values, 1);
+    plan.AddCount(values, 1);
     for (auto& m : targets) {
       if (m.pattern.Matches(values)) --m.gap;
     }
@@ -195,7 +195,7 @@ CombinationPlan MinGapSelect(const data::AttributeSchema& schema,
     }
     const int64_t delta = all_mups[best].gap;
     const std::vector<int> values = CompletePattern(all_mups[best].pattern);
-    plan.Add(values, delta);
+    plan.AddCount(values, delta);
     for (auto& m : all_mups) {
       if (m.pattern.Matches(values)) m.gap -= delta;
     }

@@ -39,7 +39,7 @@ class GuideSelector {
   virtual ~GuideSelector() = default;
 
   /// Picks a guide from `dataset` for the target combination.
-  virtual util::Result<GuideChoice> Select(const data::Dataset& dataset,
+  [[nodiscard]] virtual util::Result<GuideChoice> Select(const data::Dataset& dataset,
                                            const std::vector<int>& target,
                                            util::Rng* rng) = 0;
 
@@ -57,7 +57,7 @@ class GuideSelector {
 /// §5 baseline: no guide, the model generates from the prompt alone.
 class NoGuideSelector : public GuideSelector {
  public:
-  util::Result<GuideChoice> Select(const data::Dataset& dataset,
+  [[nodiscard]] util::Result<GuideChoice> Select(const data::Dataset& dataset,
                                    const std::vector<int>& target,
                                    util::Rng* rng) override;
   const char* name() const override { return "No Guide"; }
@@ -66,7 +66,7 @@ class NoGuideSelector : public GuideSelector {
 /// §5.1: a uniformly random tuple, ignoring the target combination.
 class RandomGuideSelector : public GuideSelector {
  public:
-  util::Result<GuideChoice> Select(const data::Dataset& dataset,
+  [[nodiscard]] util::Result<GuideChoice> Select(const data::Dataset& dataset,
                                    const std::vector<int>& target,
                                    util::Rng* rng) override;
   const char* name() const override { return "Random-Guide"; }
@@ -79,7 +79,7 @@ class SimilarTupleSelector : public GuideSelector {
  public:
   explicit SimilarTupleSelector(const data::AttributeSchema& schema);
 
-  util::Result<GuideChoice> Select(const data::Dataset& dataset,
+  [[nodiscard]] util::Result<GuideChoice> Select(const data::Dataset& dataset,
                                    const std::vector<int>& target,
                                    util::Rng* rng) override;
   const char* name() const override { return "Similar-Tuple"; }
@@ -101,7 +101,7 @@ class LinUcbSelector : public GuideSelector {
  public:
   LinUcbSelector(const data::AttributeSchema& schema, double alpha);
 
-  util::Result<GuideChoice> Select(const data::Dataset& dataset,
+  [[nodiscard]] util::Result<GuideChoice> Select(const data::Dataset& dataset,
                                    const std::vector<int>& target,
                                    util::Rng* rng) override;
   void ReportReward(const std::vector<int>& target, const GuideChoice& choice,

@@ -1,6 +1,7 @@
 #ifndef CHAMELEON_CORE_REJECTION_SAMPLER_H_
 #define CHAMELEON_CORE_REJECTION_SAMPLER_H_
 
+#include <utility>
 #include <vector>
 
 #include "src/fm/evaluator_pool.h"
@@ -40,7 +41,7 @@ class RejectionSampler {
  public:
   /// Trains the OCSVM on the real tuples' embeddings and fixes p (the
   /// estimated rate at which evaluators label real tuples realistic).
-  static util::Result<RejectionSampler> Train(
+  [[nodiscard]] static util::Result<RejectionSampler> Train(
       const std::vector<std::vector<double>>& real_embeddings,
       const fm::EvaluatorPool* evaluators, double real_label_rate_p,
       const RejectionSamplerOptions& options);

@@ -30,7 +30,7 @@ class PatternCounter {
   /// Returns InvalidArgument — indexing nothing — when the tuple's arity
   /// or any value falls outside the schema (an unchecked write here would
   /// be out-of-bounds UB).
-  util::Status AddTuple(const std::vector<int>& values);
+  [[nodiscard]] util::Status AddTuple(const std::vector<int>& values);
 
   /// Number of indexed tuples.
   int64_t num_tuples() const { return num_tuples_; }

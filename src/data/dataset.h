@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/data/pattern.h"
@@ -32,7 +33,7 @@ class Dataset {
   const AttributeSchema& schema() const { return schema_; }
 
   /// Appends a tuple; rejects value vectors that do not fit the schema.
-  util::Status Add(Tuple tuple);
+  [[nodiscard]] util::Status Add(Tuple tuple);
 
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }

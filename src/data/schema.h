@@ -29,7 +29,7 @@ class AttributeSchema {
 
   /// Adds an attribute; returns InvalidArgument on duplicate names or
   /// domains with fewer than two values.
-  util::Status AddAttribute(Attribute attribute);
+  [[nodiscard]] util::Status AddAttribute(Attribute attribute);
 
   int num_attributes() const { return static_cast<int>(attributes_.size()); }
   const Attribute& attribute(int i) const { return attributes_[i]; }

@@ -46,14 +46,14 @@ fm::FaceStyleFn FeretFaceStyleFn();
 
 /// Builds the synthetic FERET training corpus with exactly the Table 2
 /// composition.
-util::Result<fm::Corpus> MakeFeret(const embedding::Embedder* embedder,
+[[nodiscard]] util::Result<fm::Corpus> MakeFeret(const embedding::Embedder* embedder,
                                    const FeretOptions& options);
 
 /// A held-out all-real test corpus. `per_ethnicity` gives the test count
 /// for each ethnicity (split across genders like the training data);
 /// defaults approximate a proportional 25% holdout with floors so that
 /// minority metrics are measurable.
-util::Result<fm::Corpus> MakeFeretTestSet(
+[[nodiscard]] util::Result<fm::Corpus> MakeFeretTestSet(
     const embedding::Embedder* embedder, const FeretOptions& options,
     const std::vector<int>& per_ethnicity = {240, 30, 60, 24, 20});
 

@@ -36,7 +36,7 @@ using CombinationCounts = std::vector<std::pair<std::vector<int>, int>>;
 /// Appends `count` tuples per combination to `corpus`, rendering faces
 /// with `style_fn` under `scene` and embedding them with `embedder`
 /// (both ignored when render_images is false).
-util::Status FillCorpus(fm::Corpus* corpus, const CombinationCounts& counts,
+[[nodiscard]] util::Status FillCorpus(fm::Corpus* corpus, const CombinationCounts& counts,
                         const fm::FaceStyleFn& style_fn,
                         const image::SceneStyle& scene,
                         const embedding::Embedder* embedder,

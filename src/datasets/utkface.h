@@ -42,7 +42,7 @@ fm::FaceStyleFn UtkFaceStyleFn();
 /// produce level-1 MUPs — the regimes Figure 6 sweeps.
 /// Defaults to annotation-only (set options.render.render_images for
 /// payloads).
-util::Result<fm::Corpus> MakeUtkFace(const embedding::Embedder* embedder,
+[[nodiscard]] util::Result<fm::Corpus> MakeUtkFace(const embedding::Embedder* embedder,
                                      const UtkFaceOptions& options);
 
 /// The §6.4.1 challenge subset: every one of the 90 combinations gets
@@ -55,7 +55,7 @@ struct ChallengeOptions {
   int rare_count = 3;
   uint64_t seed = 11;
 };
-util::Result<fm::Corpus> MakeUtkFaceChallengeSubset(
+[[nodiscard]] util::Result<fm::Corpus> MakeUtkFaceChallengeSubset(
     const embedding::Embedder* embedder, const ChallengeOptions& options);
 
 /// The 16 rare combinations of the challenge subset, as level-3 patterns

@@ -19,7 +19,7 @@ struct Corpus {
   std::vector<double> realism;
 
   /// Appends a tuple with its payload, wiring payload_id.
-  util::Status Add(data::Tuple tuple, image::Image image,
+  [[nodiscard]] util::Status Add(data::Tuple tuple, image::Image image,
                    double tuple_realism) {
     tuple.payload_id = static_cast<int64_t>(images.size());
     CHAMELEON_RETURN_NOT_OK(dataset.Add(std::move(tuple)));
@@ -30,7 +30,7 @@ struct Corpus {
 
   /// Appends an annotation-only tuple (no payload), for coverage-only
   /// experiments.
-  util::Status AddAnnotationOnly(data::Tuple tuple) {
+  [[nodiscard]] util::Status AddAnnotationOnly(data::Tuple tuple) {
     tuple.payload_id = -1;
     return dataset.Add(std::move(tuple));
   }

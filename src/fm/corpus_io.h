@@ -17,13 +17,13 @@ namespace chameleon::fm {
 ///
 /// The format is deliberately plain-text/PNM so repaired corpora can be
 /// inspected and consumed by downstream tooling without this library.
-util::Status SaveCorpus(const Corpus& corpus, const std::string& directory,
+[[nodiscard]] util::Status SaveCorpus(const Corpus& corpus, const std::string& directory,
                         bool include_images = true);
 
 /// Loads a corpus previously written by SaveCorpus. Images are loaded
 /// when present; a missing images/ directory yields annotation-only
 /// tuples.
-util::Result<Corpus> LoadCorpus(const std::string& directory);
+[[nodiscard]] util::Result<Corpus> LoadCorpus(const std::string& directory);
 
 }  // namespace chameleon::fm
 

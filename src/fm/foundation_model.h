@@ -45,7 +45,7 @@ class FoundationModel {
  public:
   virtual ~FoundationModel() = default;
 
-  virtual util::Result<GenerationResult> Generate(
+  [[nodiscard]] virtual util::Result<GenerationResult> Generate(
       const GenerationRequest& request, util::Rng* rng) = 0;
 
   /// Fixed cost v per query (monetary for hosted models).

@@ -84,7 +84,7 @@ class SimulatedFoundationModel : public FoundationModel {
                            const image::SceneStyle& dataset_scene,
                            const Options& options);
 
-  util::Result<GenerationResult> Generate(const GenerationRequest& request,
+  [[nodiscard]] util::Result<GenerationResult> Generate(const GenerationRequest& request,
                                           util::Rng* rng) override;
 
   double query_cost() const override { return options_.query_cost; }

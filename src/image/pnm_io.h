@@ -10,10 +10,10 @@ namespace chameleon::image {
 
 /// Writes a grayscale image as binary PGM (P5) or an RGB image as binary
 /// PPM (P6), chosen by channel count.
-util::Status WritePnm(const Image& image, const std::string& path);
+[[nodiscard]] util::Status WritePnm(const Image& image, const std::string& path);
 
 /// Reads a binary PGM (P5) or PPM (P6) file.
-util::Result<Image> ReadPnm(const std::string& path);
+[[nodiscard]] util::Result<Image> ReadPnm(const std::string& path);
 
 }  // namespace chameleon::image
 

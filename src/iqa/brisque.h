@@ -22,7 +22,7 @@ std::vector<double> BrisqueFeatures(const image::Image& image);
 /// preserves BRISQUE's character: a purely low-level naturalness measure.
 class Brisque {
  public:
-  static util::Result<Brisque> Train(
+  [[nodiscard]] static util::Result<Brisque> Train(
       const std::vector<image::Image>& natural_corpus);
 
   /// Quality score; higher is worse.

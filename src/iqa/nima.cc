@@ -16,7 +16,7 @@ void AppendGlobalStats(const image::Image& image,
   stats::RunningStats lum;
   for (int y = 0; y < image.height(); ++y) {
     for (int x = 0; x < image.width(); ++x) {
-      lum.Add(image.Luminance(x, y));
+      lum.Observe(image.Luminance(x, y));
     }
   }
   features->push_back(lum.mean() / 255.0);
@@ -46,7 +46,7 @@ double Nima::AestheticProxy(const image::Image& image) {
   stats::RunningStats lum;
   for (int y = 0; y < image.height(); ++y) {
     for (int x = 0; x < image.width(); ++x) {
-      lum.Add(image.Luminance(x, y));
+      lum.Observe(image.Luminance(x, y));
     }
   }
   // Exposure balance: mid-tones preferred.

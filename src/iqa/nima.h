@@ -21,7 +21,7 @@ namespace chameleon::iqa {
 class Nima {
  public:
   /// Trains the scoring network on a corpus of natural images.
-  static util::Result<Nima> Train(const std::vector<image::Image>& corpus,
+  [[nodiscard]] static util::Result<Nima> Train(const std::vector<image::Image>& corpus,
                                   util::Rng* rng);
 
   /// Aesthetic score; higher is better.

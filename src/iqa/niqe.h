@@ -25,9 +25,9 @@ class Niqe {
   };
 
   /// Fits the pristine model from a corpus of (assumed natural) images.
-  static util::Result<Niqe> Train(const std::vector<image::Image>& pristine,
+  [[nodiscard]] static util::Result<Niqe> Train(const std::vector<image::Image>& pristine,
                                   const Options& options);
-  static util::Result<Niqe> Train(const std::vector<image::Image>& pristine) {
+  [[nodiscard]] static util::Result<Niqe> Train(const std::vector<image::Image>& pristine) {
     return Train(pristine, Options());
   }
 

@@ -45,18 +45,18 @@ class Matrix {
 
   /// Inverse via Gauss-Jordan with partial pivoting; fails on singular
   /// input.
-  util::Result<Matrix> Inverse() const;
+  [[nodiscard]] util::Result<Matrix> Inverse() const;
 
   /// Solves A x = b for symmetric positive-definite A via Cholesky;
   /// fails when A is not SPD.
-  util::Result<std::vector<double>> CholeskySolve(
+  [[nodiscard]] util::Result<std::vector<double>> CholeskySolve(
       const std::vector<double>& b) const;
 
   /// Cholesky factor L (lower triangular, A = L L^T) for SPD matrices.
-  util::Result<Matrix> CholeskyFactor() const;
+  [[nodiscard]] util::Result<Matrix> CholeskyFactor() const;
 
   /// log(det(A)) for SPD A, via the Cholesky factor.
-  util::Result<double> LogDetSpd() const;
+  [[nodiscard]] util::Result<double> LogDetSpd() const;
 
   bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&
@@ -71,7 +71,7 @@ class Matrix {
 
 /// Sherman-Morrison update: given Ainv = A^{-1}, replaces it with
 /// (A + u v^T)^{-1} in O(n^2). Fails when 1 + v^T A^{-1} u is ~0.
-util::Status ShermanMorrisonUpdate(Matrix* ainv, const std::vector<double>& u,
+[[nodiscard]] util::Status ShermanMorrisonUpdate(Matrix* ainv, const std::vector<double>& u,
                                    const std::vector<double>& v);
 
 }  // namespace chameleon::linalg

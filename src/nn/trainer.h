@@ -28,13 +28,13 @@ struct TrainReport {
 
 /// Trains `model` as a softmax classifier with cross-entropy loss.
 /// `labels[i]` must be in [0, model->output_size()).
-util::Result<TrainReport> TrainClassifier(
+[[nodiscard]] util::Result<TrainReport> TrainClassifier(
     Mlp* model, const std::vector<std::vector<double>>& inputs,
     const std::vector<int>& labels, const TrainOptions& options,
     util::Rng* rng);
 
 /// Trains `model` (single output) with mean-squared-error regression.
-util::Result<TrainReport> TrainRegressor(
+[[nodiscard]] util::Result<TrainReport> TrainRegressor(
     Mlp* model, const std::vector<std::vector<double>>& inputs,
     const std::vector<double>& targets, const TrainOptions& options,
     util::Rng* rng);

@@ -6,7 +6,7 @@
 
 namespace chameleon::stats {
 
-void RunningStats::Add(double x) {
+void RunningStats::Observe(double x) {
   if (count_ == 0) {
     min_ = max_ = x;
   } else {

@@ -9,7 +9,7 @@ namespace chameleon::stats {
 /// Streaming mean/variance accumulator (Welford).
 class RunningStats {
  public:
-  void Add(double x);
+  void Observe(double x);
 
   int64_t count() const { return count_; }
   double mean() const { return mean_; }

@@ -57,7 +57,7 @@ struct OneClassSvmStats {
 class OneClassSvm {
  public:
   /// Trains on the given embeddings (>= 2 rows of equal length).
-  static util::Result<OneClassSvm> Train(
+  [[nodiscard]] static util::Result<OneClassSvm> Train(
       const std::vector<std::vector<double>>& points,
       const OneClassSvmOptions& options);
 

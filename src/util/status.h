@@ -31,7 +31,12 @@ const char* StatusCodeName(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call returning Status by value
+/// must be checked (or explicitly voided with a comment explaining why a
+/// failure is ignorable). chameleon-lint enforces the same invariant for
+/// code paths the compiler cannot see (see tools/analyzer/).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -62,12 +67,12 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -79,9 +84,11 @@ class Status {
 };
 
 /// Either a value of type T or a non-OK Status. Accessing the value of an
-/// errored Result aborts with a diagnostic (programming error).
+/// errored Result aborts with a diagnostic (programming error). Like
+/// Status, Result is [[nodiscard]]: dropping one on the floor silently
+/// swallows both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status so `return value;` and
   /// `return Status::...;` both work, mirroring absl::StatusOr.
@@ -93,9 +100,9 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
-  const Status& status() const {
+  [[nodiscard]] const Status& status() const {
     static const Status kOk;
     if (ok()) return kOk;
     return std::get<Status>(repr_);

@@ -1,0 +1,397 @@
+// Fixture tests for the chameleon-lint rule engine. Each rule gets a
+// positive case, a NOLINT-suppressed case, and a clean case; violations
+// live inside raw strings so the linter's own pass over this file (the
+// chameleon_lint_test ctest) sees nothing.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/analyzer/rules.h"
+#include "tools/analyzer/token.h"
+
+namespace chameleon_lint {
+namespace {
+
+std::vector<Finding> LintSource(const std::string& path, const std::string& source,
+                         LintOptions options = {}) {
+  const LexResult lex = Lex(source);
+  FunctionRegistry registry;
+  CollectFunctions(lex, &registry);
+  return LintFile(path, source, lex, registry, options);
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int count = 0;
+  for (const Finding& f : findings) count += f.rule == rule;
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, SkipsCommentsStringsAndCharLiterals) {
+  const LexResult lex = Lex(R"fixture(
+// rand() in a comment
+/* srand(1) in a block comment */
+const char* s = "rand()";
+char c = 'r';
+int separated = 1'000'000;
+)fixture");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "srand");
+  }
+  // The digit-separated number is one token.
+  bool found = false;
+  for (const Token& t : lex.tokens) found |= t.text == "1'000'000";
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, RawStringsAreOpaque) {
+  const LexResult lex = Lex("auto s = R\"(std::random_device rd;)\";");
+  for (const Token& t : lex.tokens) EXPECT_NE(t.text, "random_device");
+}
+
+TEST(LexerTest, FoldsPreprocessorContinuations) {
+  const LexResult lex = Lex("#define MACRO(x) \\\n  do_thing(x)\nint y;");
+  ASSERT_EQ(lex.directives.size(), 1u);
+  EXPECT_EQ(lex.directives[0].line, 1);
+  // The macro body never reaches the token stream.
+  for (const Token& t : lex.tokens) EXPECT_NE(t.text, "do_thing");
+}
+
+TEST(LexerTest, NolintParsing) {
+  const LexResult lex = Lex(
+      "int a;  // NOLINT\n"
+      "int b;  // NOLINT(chameleon-determinism, chameleon-status-discipline)\n"
+      "// NOLINTNEXTLINE(chameleon-determinism)\n"
+      "int c;\n");
+  EXPECT_TRUE(IsSuppressed(lex, 1, "chameleon-anything"));
+  EXPECT_TRUE(IsSuppressed(lex, 2, "chameleon-determinism"));
+  EXPECT_TRUE(IsSuppressed(lex, 2, "chameleon-status-discipline"));
+  EXPECT_FALSE(IsSuppressed(lex, 2, "chameleon-header-hygiene"));
+  EXPECT_TRUE(IsSuppressed(lex, 4, "chameleon-determinism"));
+  EXPECT_FALSE(IsSuppressed(lex, 3, "chameleon-determinism"));
+}
+
+// ---------------------------------------------------------------------------
+// Function registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, SplitsStatusFromOtherReturns) {
+  const LexResult lex = Lex(R"(
+namespace demo {
+util::Status SaveThing(int x);
+util::Result<int> LoadThing();
+void Render(int x);
+class Widget {
+ public:
+  [[nodiscard]] static util::Result<Widget> Train(int n);
+  util::Status Flush() { return util::Status(); }
+  int size() const;
+};
+}
+)");
+  FunctionRegistry registry;
+  CollectFunctions(lex, &registry);
+  EXPECT_TRUE(registry.IsUnambiguousStatus("SaveThing"));
+  EXPECT_TRUE(registry.IsUnambiguousStatus("LoadThing"));
+  EXPECT_TRUE(registry.IsUnambiguousStatus("Train"));
+  EXPECT_TRUE(registry.IsUnambiguousStatus("Flush"));
+  EXPECT_FALSE(registry.IsUnambiguousStatus("Render"));
+  EXPECT_FALSE(registry.IsUnambiguousStatus("size"));
+}
+
+TEST(RegistryTest, CollidingNamesBecomeAmbiguous) {
+  const LexResult lex = Lex(R"(
+util::Status Add(int x);
+void Add(double y);
+)");
+  FunctionRegistry registry;
+  CollectFunctions(lex, &registry);
+  EXPECT_FALSE(registry.IsUnambiguousStatus("Add"));
+  EXPECT_EQ(registry.status_returning.count("Add"), 1u);
+  EXPECT_EQ(registry.other_returning.count("Add"), 1u);
+}
+
+TEST(RegistryTest, LocalVariablesAreNotFunctions) {
+  const LexResult lex = Lex(R"(
+util::Status Go();
+void Caller() {
+  util::Status s(util::StatusCode::kInternal, "boom");
+}
+)");
+  FunctionRegistry registry;
+  CollectFunctions(lex, &registry);
+  EXPECT_EQ(registry.status_returning.count("s"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// chameleon-status-discipline
+// ---------------------------------------------------------------------------
+
+constexpr char kStatusPrelude[] = R"(
+util::Status DoThing(int x);
+util::Result<int> Fetch();
+struct Sink { util::Status Write(int v); };
+)";
+
+TEST(StatusDisciplineTest, FlagsDiscardedCalls) {
+  const auto findings = LintSource("src/a.cc", std::string(kStatusPrelude) + R"(
+void Caller(Sink* sink) {
+  DoThing(1);
+  sink->Write(2);
+  Fetch();
+}
+)");
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 3);
+}
+
+TEST(StatusDisciplineTest, CheckedAndConsumedCallsAreClean) {
+  const auto findings = LintSource("src/a.cc", std::string(kStatusPrelude) + R"(
+util::Status Caller(Sink* sink) {
+  util::Status s = DoThing(1);
+  if (!DoThing(2).ok()) return s;
+  (void)DoThing(3);
+  CHAMELEON_RETURN_NOT_OK(sink->Write(4));
+  auto result = Fetch();
+  return DoThing(5);
+}
+)");
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
+TEST(StatusDisciplineTest, NolintSuppresses) {
+  const auto findings = LintSource("src/a.cc", std::string(kStatusPrelude) + R"(
+void Caller() {
+  DoThing(1);  // NOLINT(chameleon-status-discipline)
+  // NOLINTNEXTLINE(chameleon-status-discipline)
+  DoThing(2);
+}
+)");
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
+TEST(StatusDisciplineTest, AmbiguousNamesAreSkipped) {
+  const auto findings = LintSource("src/a.cc", R"(
+util::Status Add(int x);
+struct Accum { void Add(double y); };
+void Caller(Accum* a) {
+  Add(1);
+  a->Add(2.0);
+}
+)");
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
+TEST(StatusDisciplineTest, FlagsSingleStatementControlBodies) {
+  const auto findings = LintSource("src/a.cc", std::string(kStatusPrelude) + R"(
+void Caller(bool flip) {
+  if (flip) DoThing(1);
+  else DoThing(2);
+}
+)");
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 2);
+}
+
+TEST(StatusDisciplineTest, DisableFlagTurnsRuleOff) {
+  LintOptions options;
+  options.disabled.insert("status-discipline");
+  const auto findings = LintSource("src/a.cc",
+                            std::string(kStatusPrelude) + R"(
+void Caller() { DoThing(1); }
+)",
+                            options);
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// chameleon-determinism
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, FlagsHiddenEntropySources) {
+  const auto findings = LintSource("src/a.cc", R"(
+void Seeds() {
+  int r = rand();
+  srand(42);
+  std::random_device rd;
+  std::mt19937 gen(time(nullptr));
+  auto t = std::chrono::steady_clock::now();
+}
+)");
+  EXPECT_EQ(CountRule(findings, "determinism"), 5);
+}
+
+TEST(DeterminismTest, AllowlistedPathsAreExempt) {
+  const std::string source = R"(
+void Tick() { auto t = std::chrono::steady_clock::now(); }
+)";
+  EXPECT_EQ(CountRule(LintSource("src/util/stopwatch.cc", source), "determinism"), 0);
+  EXPECT_EQ(CountRule(LintSource("bench/bench_micro_x.cc", source), "determinism"),
+            0);
+  EXPECT_EQ(CountRule(LintSource("src/core/chameleon.cc", source), "determinism"), 1);
+}
+
+TEST(DeterminismTest, MemberFunctionsNamedLikeBannedOnesAreClean) {
+  const auto findings = LintSource("src/a.cc", R"(
+void Caller(Clock* clock, Rng* gen) {
+  auto t = clock->now();
+  int r = gen->rand();
+  auto d = obj.time(0);
+}
+)");
+  EXPECT_EQ(CountRule(findings, "determinism"), 0);
+}
+
+TEST(DeterminismTest, NolintSuppresses) {
+  const auto findings = LintSource("src/a.cc", R"(
+void Seeds() {
+  srand(42);  // NOLINT(chameleon-determinism)
+}
+)");
+  EXPECT_EQ(CountRule(findings, "determinism"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// chameleon-concurrency-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyHygieneTest, FlagsMutableFunctionLocalStatics) {
+  const auto findings = LintSource("src/a.cc", R"(
+int Counter() {
+  static int calls = 0;
+  return ++calls;
+}
+)");
+  EXPECT_EQ(CountRule(findings, "concurrency-hygiene"), 1);
+}
+
+TEST(ConcurrencyHygieneTest, ConstStaticsAndTestFilesAreClean) {
+  const std::string source = R"(
+double Lookup(int i) {
+  static const double kTable[] = {1.0, 2.0};
+  static constexpr int kSize = 2;
+  return kTable[i % kSize];
+}
+)";
+  EXPECT_EQ(CountRule(LintSource("src/a.cc", source), "concurrency-hygiene"), 0);
+  const std::string mutable_static = R"(
+int Counter() {
+  static int calls = 0;
+  return ++calls;
+}
+)";
+  EXPECT_EQ(CountRule(LintSource("tests/a_test.cc", mutable_static),
+                      "concurrency-hygiene"),
+            0);
+}
+
+TEST(ConcurrencyHygieneTest, MutableMembersNeedSynchronizationWhenDocumented) {
+  const std::string unsynchronized = R"(
+/// This cache is thread-safe.
+class Cache {
+ private:
+  mutable int hits_ = 0;
+};
+)";
+  EXPECT_EQ(CountRule(LintSource("src/cache.h", unsynchronized),
+                      "concurrency-hygiene"),
+            1);
+  const std::string synchronized = R"(
+/// This cache is thread-safe.
+class Cache {
+ private:
+  mutable std::atomic<int> hits_{0};
+  mutable std::mutex mu_;
+};
+)";
+  EXPECT_EQ(
+      CountRule(LintSource("src/cache.h", synchronized), "concurrency-hygiene"), 0);
+  const std::string undocumented = R"(
+class Cache {
+ private:
+  mutable int hits_ = 0;
+};
+)";
+  EXPECT_EQ(
+      CountRule(LintSource("src/cache.h", undocumented), "concurrency-hygiene"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// chameleon-header-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(HeaderHygieneTest, ExpectedGuardFollowsPathConvention) {
+  EXPECT_EQ(ExpectedGuard("src/util/status.h"), "CHAMELEON_UTIL_STATUS_H_");
+  EXPECT_EQ(ExpectedGuard("tools/analyzer/token.h"),
+            "CHAMELEON_TOOLS_ANALYZER_TOKEN_H_");
+  EXPECT_EQ(ExpectedGuard("src/data/schema.h"), "CHAMELEON_DATA_SCHEMA_H_");
+}
+
+TEST(HeaderHygieneTest, FlagsWrongOrMissingGuard) {
+  EXPECT_EQ(CountRule(LintSource("src/a/b.h",
+                          "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n"),
+                      "header-hygiene"),
+            1);
+  EXPECT_EQ(CountRule(LintSource("src/a/b.h", "#pragma once\nint x;\n"),
+                      "header-hygiene"),
+            1);
+  EXPECT_EQ(CountRule(LintSource("src/a/b.h",
+                          "#ifndef CHAMELEON_A_B_H_\n"
+                          "#define CHAMELEON_A_B_H_\n"
+                          "#endif  // CHAMELEON_A_B_H_\n"),
+                      "header-hygiene"),
+            0);
+}
+
+TEST(HeaderHygieneTest, FlagsUsingNamespaceAtNamespaceScope) {
+  const std::string bad =
+      "#ifndef CHAMELEON_A_B_H_\n#define CHAMELEON_A_B_H_\n"
+      "namespace a {\nusing namespace std;\n}\n#endif\n";
+  EXPECT_EQ(CountRule(LintSource("src/a/b.h", bad), "header-hygiene"), 1);
+  // Inside a function body it is local and tolerated.
+  const std::string scoped =
+      "#ifndef CHAMELEON_A_B_H_\n#define CHAMELEON_A_B_H_\n"
+      "inline void f() {\nusing namespace std;\n}\n#endif\n";
+  EXPECT_EQ(CountRule(LintSource("src/a/b.h", scoped), "header-hygiene"), 0);
+  // .cc files may use it at file scope (project style tolerates that).
+  EXPECT_EQ(CountRule(LintSource("src/a/b.cc", "using namespace std;\n"),
+                      "header-hygiene"),
+            0);
+}
+
+TEST(HeaderHygieneTest, SelfContainednessRequiresDirectIncludes) {
+  const std::string missing =
+      "#ifndef CHAMELEON_A_B_H_\n#define CHAMELEON_A_B_H_\n"
+      "inline std::string Name() { return {}; }\n#endif\n";
+  EXPECT_EQ(CountRule(LintSource("src/a/b.h", missing), "header-hygiene"), 1);
+  const std::string direct =
+      "#ifndef CHAMELEON_A_B_H_\n#define CHAMELEON_A_B_H_\n"
+      "#include <string>\n"
+      "inline std::string Name() { return {}; }\n#endif\n";
+  EXPECT_EQ(CountRule(LintSource("src/a/b.h", direct), "header-hygiene"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Output format
+// ---------------------------------------------------------------------------
+
+TEST(OutputTest, FormatIsMachineFriendly) {
+  const Finding finding{"src/a.cc", 12, 5, "determinism", "call to rand()"};
+  EXPECT_EQ(FormatFinding(finding),
+            "src/a.cc:12:5: [chameleon-determinism] call to rand()");
+}
+
+TEST(OutputTest, RuleListIsStable) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_STREQ(rules[0].name, "status-discipline");
+  EXPECT_STREQ(rules[1].name, "determinism");
+  EXPECT_STREQ(rules[2].name, "concurrency-hygiene");
+  EXPECT_STREQ(rules[3].name, "header-hygiene");
+}
+
+}  // namespace
+}  // namespace chameleon_lint

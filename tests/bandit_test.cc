@@ -93,7 +93,7 @@ TEST(EpsilonGreedyTest, TriesEveryArmFirst) {
     const int arm = bandit.SelectArm(&rng);
     EXPECT_FALSE(pulled[arm]);
     pulled[arm] = true;
-    bandit.Update(arm, 0.0);
+    ASSERT_TRUE(bandit.Update(arm, 0.0).ok());
   }
 }
 
@@ -102,12 +102,12 @@ TEST(EpsilonGreedyTest, ExploitsBestArm) {
   util::Rng rng(2);
   for (int a = 0; a < 3; ++a) {
     bandit.SelectArm(&rng);
-    bandit.Update(a, a == 1 ? 1.0 : 0.0);
+    ASSERT_TRUE(bandit.Update(a, a == 1 ? 1.0 : 0.0).ok());
   }
   for (int i = 0; i < 10; ++i) {
     const int arm = bandit.SelectArm(&rng);
     EXPECT_EQ(arm, 1);
-    bandit.Update(arm, 1.0);
+    ASSERT_TRUE(bandit.Update(arm, 1.0).ok());
   }
   EXPECT_GT(bandit.MeanReward(1), 0.9);
 }
@@ -119,7 +119,7 @@ TEST(EpsilonGreedyTest, EpsilonOneIsUniform) {
   for (int i = 0; i < 4000; ++i) {
     const int arm = bandit.SelectArm(&rng);
     ++counts[arm];
-    bandit.Update(arm, arm == 0 ? 1.0 : 0.0);
+    ASSERT_TRUE(bandit.Update(arm, arm == 0 ? 1.0 : 0.0).ok());
   }
   // Despite arm 0 being best, epsilon=1 keeps exploring all arms.
   for (int a = 0; a < 4; ++a) EXPECT_GT(counts[a], 600);

@@ -12,9 +12,12 @@ namespace {
 data::AttributeSchema BinarySchema(int d) {
   data::AttributeSchema schema;
   for (int i = 0; i < d; ++i) {
+    // Built with += rather than operator+ to dodge GCC 12's -Wrestrict
+    // false positive on char*/std::string concatenation (GCC PR105651).
+    std::string name = "x";
+    name += std::to_string(i);
     EXPECT_TRUE(
-        schema.AddAttribute({"x" + std::to_string(i), {"0", "1"}, false})
-            .ok());
+        schema.AddAttribute({std::move(name), {"0", "1"}, false}).ok());
   }
   return schema;
 }

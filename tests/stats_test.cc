@@ -75,7 +75,7 @@ TEST(SpecialFunctionsTest, GgdRatioMonotoneDecreasing) {
 TEST(RunningStatsTest, MatchesBatchFormulas) {
   RunningStats stats;
   const std::vector<double> values = {1, 4, 4, 9, -2, 3.5};
-  for (double v : values) stats.Add(v);
+  for (double v : values) stats.Observe(v);
   EXPECT_EQ(stats.count(), 6);
   EXPECT_NEAR(stats.mean(), Mean(values), 1e-12);
   EXPECT_NEAR(stats.variance(), Variance(values), 1e-12);

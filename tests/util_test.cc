@@ -1,3 +1,12 @@
+// GCC 12 at -O2 loses track of the active std::variant alternative inside
+// Result<T> and warns that the inactive Status' string "may be used
+// uninitialized" when the destructor is inlined (GCC PR105593 family).
+// False positive; must precede the libstdc++ includes so the pragma state
+// is in effect where the diagnostic is attributed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 #include <cmath>
 #include <set>
 

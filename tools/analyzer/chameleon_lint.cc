@@ -1,0 +1,166 @@
+// chameleon-lint: project-invariant static analyzer for the Chameleon
+// tree. Enforces, as named and suppressible rules, the invariants the
+// compiler cannot see: Status discipline, determinism, concurrency
+// hygiene, and header hygiene. See DESIGN.md "Static analysis &
+// invariants".
+//
+// Usage:
+//   chameleon-lint [--root=DIR] [--disable=rule,...] [--list-rules] [paths]
+//
+// With no paths, lints src/ and tests/ under --root (default: cwd).
+// Output is machine-friendly: `file:line:col: [chameleon-rule] message`.
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/analyzer/rules.h"
+#include "tools/analyzer/token.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using chameleon_lint::Finding;
+using chameleon_lint::FunctionRegistry;
+using chameleon_lint::LexResult;
+using chameleon_lint::LintOptions;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Path relative to root with '/' separators — the form rules key off.
+std::string Relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  return (ec || rel.empty() ? p : rel).generic_string();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root=DIR] [--disable=rule,...] [--list-rules] "
+               "[paths...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  LintOptions options;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : chameleon_lint::Rules()) {
+        std::printf("chameleon-%s: %s\n", rule.name, rule.description);
+      }
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = fs::path(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--disable=", 0) == 0) {
+      std::stringstream list(arg.substr(10));
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        if (name.rfind("chameleon-", 0) == 0) name = name.substr(10);
+        if (name.empty()) continue;
+        const auto& rules = chameleon_lint::Rules();
+        const bool known =
+            std::any_of(rules.begin(), rules.end(),
+                        [&](const auto& r) { return name == r.name; });
+        if (!known) {
+          std::fprintf(stderr, "unknown rule '%s' (try --list-rules)\n",
+                       name.c_str());
+          return 2;
+        }
+        options.disabled.insert(name);
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return Usage(argv[0]);
+    inputs.push_back(arg);
+  }
+  if (inputs.empty()) {
+    inputs = {"src", "tests"};
+  }
+
+  // Resolve inputs (relative to --root) into the file set.
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    fs::path p(input);
+    if (p.is_relative()) p = root / p;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "cannot read '%s'\n", input.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Lex everything once; pass 1 builds the cross-file function registry.
+  struct FileData {
+    std::string rel;
+    std::string source;
+    LexResult lex;
+  };
+  std::vector<FileData> data;
+  data.reserve(files.size());
+  FunctionRegistry registry;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    FileData d;
+    d.rel = Relativize(file, root);
+    d.source = buffer.str();
+    d.lex = chameleon_lint::Lex(d.source);
+    chameleon_lint::CollectFunctions(d.lex, &registry);
+    data.push_back(std::move(d));
+  }
+
+  // Pass 2: rules.
+  std::vector<Finding> findings;
+  for (const FileData& d : data) {
+    std::vector<Finding> file_findings =
+        chameleon_lint::LintFile(d.rel, d.source, d.lex, registry, options);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end());
+  for (const Finding& finding : findings) {
+    std::printf("%s\n", chameleon_lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "chameleon-lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), data.size());
+    return 1;
+  }
+  return 0;
+}

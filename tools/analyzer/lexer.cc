@@ -1,0 +1,228 @@
+#include "tools/analyzer/token.h"
+
+#include <cctype>
+
+namespace chameleon_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Records NOLINT / NOLINTNEXTLINE annotations found in a comment body.
+/// `line` is the line the comment starts on.
+void ParseNolint(const std::string& comment, int line,
+                 std::map<int, std::set<std::string>>* nolint) {
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    std::set<std::string>& rules = (*nolint)[target];
+    if (after < comment.size() && comment[after] == '(') {
+      const size_t close = comment.find(')', after);
+      const std::string list =
+          comment.substr(after + 1, close == std::string::npos
+                                        ? std::string::npos
+                                        : close - after - 1);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        std::string name = list.substr(start, comma - start);
+        // Trim spaces.
+        while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+        while (!name.empty() && name.back() == ' ') name.pop_back();
+        if (!name.empty()) rules.insert(name);
+        start = comma + 1;
+      }
+    } else {
+      rules.insert("*");  // bare NOLINT: suppress everything
+    }
+    pos = after;
+  }
+}
+
+}  // namespace
+
+LexResult Lex(const std::string& source) {
+  LexResult out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+  bool at_line_start = true;  // only whitespace seen since last newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+        at_line_start = true;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+        c == '\f') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int start_line = line;
+      size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ParseNolint(source.substr(i, end - i), start_line, &out.nolint);
+      advance(end - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      size_t end = source.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      ParseNolint(source.substr(i, end - i), start_line, &out.nolint);
+      advance(end - i);
+      continue;
+    }
+    // Preprocessor directive: '#' with only whitespace before it on the
+    // line. Consumes the logical line (folding backslash continuations);
+    // trailing // comments still get NOLINT-parsed above on later lines,
+    // but comments inside the directive are left as-is (rules only look
+    // at the leading directive keyword and symbol).
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      size_t j = i + 1;
+      while (j < n) {
+        if (source[j] == '\\' && j + 1 < n && source[j + 1] == '\n') {
+          text += ' ';
+          j += 2;
+          continue;
+        }
+        if (source[j] == '\n') break;
+        text += source[j];
+        ++j;
+      }
+      // Trim.
+      size_t b = text.find_first_not_of(" \t");
+      size_t e = text.find_last_not_of(" \t");
+      text = (b == std::string::npos) ? "" : text.substr(b, e - b + 1);
+      out.directives.push_back({text, start_line});
+      advance(j - i);
+      continue;
+    }
+    at_line_start = false;
+    // Identifier (and raw-string prefix detection).
+    if (IsIdentStart(c)) {
+      const int tl = line, tc = col;
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      std::string ident = source.substr(i, j - i);
+      // Raw string literal: R"delim( ... )delim"
+      if (j < n && source[j] == '"' &&
+          (ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR")) {
+        size_t k = j + 1;
+        std::string delim;
+        while (k < n && source[k] != '(') delim += source[k++];
+        const std::string closer = ")" + delim + "\"";
+        size_t end = source.find(closer, k);
+        end = (end == std::string::npos) ? n : end + closer.size();
+        out.tokens.push_back(
+            {TokenKind::kString, source.substr(i, end - i), tl, tc});
+        advance(end - i);
+        continue;
+      }
+      out.tokens.push_back({TokenKind::kIdentifier, std::move(ident), tl, tc});
+      advance(j - i);
+      continue;
+    }
+    // Number (pp-number: also eats 1'000, 0x1F, 1e-3).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const int tl = line, tc = col;
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = source[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && IsIdentChar(source[j + 1])) {
+          j += 2;  // digit separator
+        } else if ((d == '+' || d == '-') &&
+                   (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                    source[j - 1] == 'p' || source[j - 1] == 'P')) {
+          ++j;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokenKind::kNumber, source.substr(i, j - i), tl, tc});
+      advance(j - i);
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      const int tl = line, tc = col;
+      size_t j = i + 1;
+      while (j < n && source[j] != '"') {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = (j < n) ? j + 1 : n;
+      out.tokens.push_back({TokenKind::kString, source.substr(i, j - i), tl, tc});
+      advance(j - i);
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      const int tl = line, tc = col;
+      size_t j = i + 1;
+      while (j < n && source[j] != '\'') {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = (j < n) ? j + 1 : n;
+      out.tokens.push_back(
+          {TokenKind::kCharLiteral, source.substr(i, j - i), tl, tc});
+      advance(j - i);
+      continue;
+    }
+    // Punctuation; keep :: and -> glued, everything else single-char.
+    {
+      const int tl = line, tc = col;
+      if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+        out.tokens.push_back({TokenKind::kPunct, "::", tl, tc});
+        advance(2);
+      } else if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+        out.tokens.push_back({TokenKind::kPunct, "->", tl, tc});
+        advance(2);
+      } else {
+        out.tokens.push_back({TokenKind::kPunct, std::string(1, c), tl, tc});
+        advance(1);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsSuppressed(const LexResult& lex, int line, const std::string& rule) {
+  const auto it = lex.nolint.find(line);
+  if (it == lex.nolint.end()) return false;
+  return it->second.count("*") > 0 || it->second.count(rule) > 0;
+}
+
+}  // namespace chameleon_lint

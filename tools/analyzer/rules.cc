@@ -1,0 +1,578 @@
+#include "tools/analyzer/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace chameleon_lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scope tracking
+// ---------------------------------------------------------------------------
+
+/// What kind of construct a brace pair belongs to. Heuristic, not a parse:
+/// the authoritative check is the fixture suite plus the zero-findings run
+/// over the live tree.
+enum class ScopeKind {
+  kNamespace,    // namespace body (and file top level)
+  kType,         // class/struct/union/enum body
+  kFunction,     // function/lambda body or nested block
+  kInitializer,  // braced initializer list
+};
+
+/// Per-token scope information, aligned with LexResult::tokens.
+struct ScopeInfo {
+  ScopeKind innermost = ScopeKind::kNamespace;
+  bool in_function = false;  // true if any enclosing scope is a function
+};
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Classifies the brace at `open` given the statement window that leads up
+/// to it (tokens since the previous ; { or } at the same nesting).
+ScopeKind ClassifyBrace(const std::vector<Token>& tokens, size_t open,
+                        const ScopeInfo& parent) {
+  size_t begin = open;
+  while (begin > 0) {
+    const Token& t = tokens[begin - 1];
+    if (IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}")) break;
+    --begin;
+  }
+  if (begin == open) {  // empty window: bare block or element brace
+    return parent.in_function ? ScopeKind::kFunction : ScopeKind::kInitializer;
+  }
+  bool has_class_key = false, has_paren_open = false, has_paren_close = false,
+       has_assign = false;
+  for (size_t i = begin; i < open; ++i) {
+    const Token& t = tokens[i];
+    if (IsIdent(t, "namespace")) return ScopeKind::kNamespace;
+    if (IsIdent(t, "class") || IsIdent(t, "struct") || IsIdent(t, "union") ||
+        IsIdent(t, "enum")) {
+      has_class_key = true;
+    } else if (IsPunct(t, "(")) {
+      has_paren_open = true;
+    } else if (IsPunct(t, ")")) {
+      has_paren_close = true;
+    } else if (IsPunct(t, "=")) {
+      has_assign = true;
+    }
+  }
+  if (has_class_key && !has_paren_open) return ScopeKind::kType;
+  const Token& last = tokens[open - 1];
+  if (IsPunct(last, ")") || IsPunct(last, "]") || IsIdent(last, "const") ||
+      IsIdent(last, "noexcept") || IsIdent(last, "mutable") ||
+      IsIdent(last, "override") || IsIdent(last, "final") ||
+      IsIdent(last, "try") || IsIdent(last, "do") || IsIdent(last, "else")) {
+    return ScopeKind::kFunction;
+  }
+  if (has_assign) return ScopeKind::kInitializer;
+  if (has_paren_close) return ScopeKind::kFunction;
+  if (parent.in_function) return ScopeKind::kFunction;
+  return ScopeKind::kInitializer;
+}
+
+/// Computes, for every token, the scope that *contains* it.
+std::vector<ScopeInfo> ComputeScopes(const std::vector<Token>& tokens) {
+  std::vector<ScopeInfo> out(tokens.size());
+  std::vector<ScopeInfo> stack;
+  ScopeInfo current;  // top level behaves like namespace scope
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    out[i] = current;
+    const Token& t = tokens[i];
+    if (IsPunct(t, "{")) {
+      const ScopeKind kind = ClassifyBrace(tokens, i, current);
+      stack.push_back(current);
+      current.innermost = kind;
+      current.in_function =
+          current.in_function || kind == ScopeKind::kFunction;
+    } else if (IsPunct(t, "}")) {
+      if (!stack.empty()) {
+        current = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+/// Index of the matching ")" for the "(" at `open`, or npos.
+size_t MatchParen(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (IsPunct(tokens[i], "(")) ++depth;
+    if (IsPunct(tokens[i], ")")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::string Lowercase(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool IsTestPath(const std::string& path) {
+  return Contains(path, "tests/") || Contains(path, "_test.cc");
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+/// Emits `finding` unless suppressed via NOLINT on its line.
+void Emit(const LexResult& lex, std::vector<Finding>* out, Finding finding) {
+  if (IsSuppressed(lex, finding.line, "chameleon-" + finding.rule) ||
+      IsSuppressed(lex, finding.line, finding.rule)) {
+    return;
+  }
+  out->push_back(std::move(finding));
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: function registry
+// ---------------------------------------------------------------------------
+
+/// True if the token can be part of a return type spelled before a
+/// function name: identifiers, ::, template angle brackets, pointers,
+/// references.
+bool IsReturnTypeToken(const Token& t) {
+  if (t.kind == TokenKind::kIdentifier) return true;
+  return IsPunct(t, "::") || IsPunct(t, "<") || IsPunct(t, ">") ||
+         IsPunct(t, "*") || IsPunct(t, "&");
+}
+
+}  // namespace
+
+void CollectFunctions(const LexResult& lex, FunctionRegistry* registry) {
+  const std::vector<Token>& toks = lex.tokens;
+  const std::vector<ScopeInfo> scopes = ComputeScopes(toks);
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || !IsPunct(toks[i + 1], "("))
+      continue;
+    if (scopes[i].in_function ||
+        scopes[i].innermost == ScopeKind::kInitializer)
+      continue;
+    const std::string& name = toks[i].text;
+    if (name == "operator") continue;
+    // Walk back over the qualified-name prefix (Type::Name) to its head.
+    size_t head = i;
+    while (head >= 2 && IsPunct(toks[head - 1], "::") &&
+           toks[head - 2].kind == TokenKind::kIdentifier) {
+      head -= 2;
+    }
+    if (head == 0) continue;
+    const Token& prev = toks[head - 1];
+    // A declaration has a return type (or `auto`) directly before the
+    // name; constructors, macro invocations, and expressions do not.
+    if (!IsReturnTypeToken(prev)) continue;
+    if (prev.kind == TokenKind::kIdentifier &&
+        (prev.text == "explicit" || prev.text == "friend" ||
+         prev.text == "new" || prev.text == "delete" || prev.text == "goto" ||
+         prev.text == "return" || prev.text == "case" || prev.text == "co_return" ||
+         prev.text == "throw" || prev.text == "sizeof")) {
+      continue;
+    }
+    // Scan the contiguous return-type run backwards for Status/Result.
+    bool is_status = false;
+    size_t j = head;
+    while (j > 0 && IsReturnTypeToken(toks[j - 1])) {
+      --j;
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          (toks[j].text == "Status" || toks[j].text == "Result")) {
+        is_status = true;
+      }
+    }
+    if (is_status) {
+      registry->status_returning.insert(name);
+    } else {
+      registry->other_returning.insert(name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CheckStatusDiscipline(const std::string& path, const LexResult& lex,
+                           const std::vector<ScopeInfo>& scopes,
+                           const FunctionRegistry& registry,
+                           std::vector<Finding>* out) {
+  const std::vector<Token>& toks = lex.tokens;
+  static const std::set<std::string> kStatementKeywords = {
+      "return", "co_return", "co_yield", "co_await", "throw",  "delete",
+      "goto",   "break",     "continue", "case",     "default", "using",
+      "typedef", "template", "if",       "for",      "while",  "do",
+      "switch", "else",      "new",      "public",   "private", "protected"};
+
+  std::set<size_t> stmt_starts;
+  // Statement boundaries: after ; { } inside functions, after else/do,
+  // and after the closing paren of a control-flow header.
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], ";") || IsPunct(toks[i], "{") ||
+        IsPunct(toks[i], "}") || IsIdent(toks[i], "else") ||
+        IsIdent(toks[i], "do")) {
+      stmt_starts.insert(i + 1);
+    }
+    if (IsPunct(toks[i], "(") && i > 0 &&
+        (IsIdent(toks[i - 1], "if") || IsIdent(toks[i - 1], "while") ||
+         IsIdent(toks[i - 1], "for") || IsIdent(toks[i - 1], "switch"))) {
+      const size_t close = MatchParen(toks, i);
+      if (close != std::string::npos) stmt_starts.insert(close + 1);
+    }
+  }
+
+  for (size_t s : stmt_starts) {
+    if (s >= toks.size()) continue;
+    if (!scopes[s].in_function) continue;
+    if (toks[s].kind != TokenKind::kIdentifier) continue;
+    if (kStatementKeywords.count(toks[s].text) > 0) continue;
+    // Parse a call chain: name(...)  obj.name(...)  ns::obj->name(...)
+    // chained through member access on call results. The statement is a
+    // *discard* when the final token after the last call is ';'.
+    size_t k = s;
+    std::string callee = toks[k].text;
+    while (true) {
+      if (k + 1 >= toks.size()) { callee.clear(); break; }
+      const Token& next = toks[k + 1];
+      if (IsPunct(next, "::") || IsPunct(next, ".") || IsPunct(next, "->")) {
+        if (k + 2 >= toks.size() ||
+            toks[k + 2].kind != TokenKind::kIdentifier) {
+          callee.clear();
+          break;
+        }
+        callee = toks[k + 2].text;
+        k += 2;
+        continue;
+      }
+      if (IsPunct(next, "(")) {
+        const size_t close = MatchParen(toks, k + 1);
+        if (close == std::string::npos || close + 1 >= toks.size()) {
+          callee.clear();
+          break;
+        }
+        const Token& after = toks[close + 1];
+        if (IsPunct(after, ";")) break;  // bare call statement: `callee` set
+        if (IsPunct(after, ".") || IsPunct(after, "->")) {
+          k = close;  // chain continues on the call result
+          continue;
+        }
+        callee.clear();  // call is a subexpression of something larger
+        break;
+      }
+      callee.clear();  // declaration, assignment, arithmetic, ...
+      break;
+    }
+    if (callee.empty() || !registry.IsUnambiguousStatus(callee)) continue;
+    Emit(lex, out,
+         {path, toks[s].line, toks[s].col, "status-discipline",
+          "result of Status/Result-returning '" + callee +
+              "' is discarded; check it, propagate it, or cast to (void) "
+              "with a comment explaining why failure is ignorable"});
+  }
+}
+
+void CheckDeterminism(const std::string& path, const LexResult& lex,
+                      const LintOptions& options, std::vector<Finding>* out) {
+  for (const std::string& allowed : options.determinism_allowlist) {
+    if (Contains(path, allowed.c_str())) return;
+  }
+  const std::vector<Token>& toks = lex.tokens;
+  const char* why =
+      "; hidden nondeterminism breaks the pipeline's bit-identical-at-any-"
+      "thread-count guarantee (use util::Rng with an explicit seed)";
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool member_access =
+        i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    const bool called = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+    if (t.text == "rand" && called && !member_access) {
+      Emit(lex, out,
+           {path, t.line, t.col, "determinism",
+            std::string("call to rand()") + why});
+    } else if (t.text == "srand" && called && !member_access) {
+      Emit(lex, out,
+           {path, t.line, t.col, "determinism",
+            std::string("call to srand()") + why});
+    } else if (t.text == "random_device" && !member_access) {
+      Emit(lex, out,
+           {path, t.line, t.col, "determinism",
+            std::string("use of std::random_device") + why});
+    } else if (t.text == "time" && called && !member_access &&
+               i + 3 < toks.size() &&
+               (IsIdent(toks[i + 2], "nullptr") ||
+                IsIdent(toks[i + 2], "NULL") || toks[i + 2].text == "0") &&
+               IsPunct(toks[i + 3], ")")) {
+      Emit(lex, out,
+           {path, t.line, t.col, "determinism",
+            std::string("time(nullptr)-style wall-clock seed") + why});
+    } else if (t.text == "now" && called && i > 0 &&
+               IsPunct(toks[i - 1], "::") && i + 2 < toks.size() &&
+               IsPunct(toks[i + 2], ")")) {
+      Emit(lex, out,
+           {path, t.line, t.col, "determinism",
+            "argless clock ::now() outside util/stopwatch and bench code" +
+                std::string(why)});
+    }
+  }
+}
+
+void CheckConcurrencyHygiene(const std::string& path, const std::string& source,
+                             const LexResult& lex,
+                             const std::vector<ScopeInfo>& scopes,
+                             std::vector<Finding>* out) {
+  const std::vector<Token>& toks = lex.tokens;
+  const std::string lower = Lowercase(source);
+  const bool mentions_thread_safety = Contains(lower, "thread-safe") ||
+                                      Contains(lower, "thread safe") ||
+                                      Contains(lower, "thread-safety") ||
+                                      Contains(lower, "thread safety");
+  const bool is_test = IsTestPath(path);
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    // Function-local mutable static state: shared across calls and, under
+    // the thread pool, across threads.
+    if (t.text == "static" && !is_test && scopes[i].in_function &&
+        scopes[i].innermost == ScopeKind::kFunction) {
+      bool is_const = i > 0 && (IsIdent(toks[i - 1], "const") ||
+                                IsIdent(toks[i - 1], "constexpr"));
+      for (size_t j = i + 1; !is_const && j < toks.size() && j < i + 6; ++j) {
+        if (IsPunct(toks[j], ";") || IsPunct(toks[j], "(") ||
+            IsPunct(toks[j], "=")) {
+          break;
+        }
+        if (IsIdent(toks[j], "const") || IsIdent(toks[j], "constexpr")) {
+          is_const = true;
+        }
+      }
+      if (!is_const) {
+        Emit(lex, out,
+             {path, t.line, t.col, "concurrency-hygiene",
+              "function-local static mutable state; worker threads share it "
+              "non-deterministically (hoist it, make it const, or inject it "
+              "explicitly)"});
+      }
+    }
+    // `mutable` members in files that document thread-safety must be
+    // synchronized types.
+    if (t.text == "mutable" && mentions_thread_safety && !scopes[i].in_function &&
+        scopes[i].innermost == ScopeKind::kType) {
+      bool synchronized = false;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], ";")) break;
+        if (toks[j].kind == TokenKind::kIdentifier &&
+            (toks[j].text == "atomic" || toks[j].text == "mutex" ||
+             toks[j].text == "shared_mutex" || toks[j].text == "once_flag" ||
+             toks[j].text == "condition_variable")) {
+          synchronized = true;
+          break;
+        }
+      }
+      if (!synchronized) {
+        Emit(lex, out,
+             {path, t.line, t.col, "concurrency-hygiene",
+              "mutable member in a file documenting thread-safety without "
+              "std::atomic/std::mutex protection"});
+      }
+    }
+  }
+}
+
+/// Direct-include requirements for common std vocabulary types: a header
+/// that names std::X must include <header-for-X> itself rather than rely
+/// on a transitive include.
+const std::map<std::string, std::string>& StdSymbolHeaders() {
+  static const std::map<std::string, std::string> kMap = {
+      {"string", "string"},
+      {"vector", "vector"},
+      {"map", "map"},
+      {"set", "set"},
+      {"unordered_map", "unordered_map"},
+      {"unordered_set", "unordered_set"},
+      {"deque", "deque"},
+      {"array", "array"},
+      {"atomic", "atomic"},
+      {"mutex", "mutex"},
+      {"shared_mutex", "shared_mutex"},
+      {"condition_variable", "condition_variable"},
+      {"thread", "thread"},
+      {"unique_ptr", "memory"},
+      {"shared_ptr", "memory"},
+      {"weak_ptr", "memory"},
+      {"function", "functional"},
+      {"optional", "optional"},
+      {"variant", "variant"},
+      {"pair", "utility"},
+      {"move", "utility"},
+      {"string_view", "string_view"},
+  };
+  return kMap;
+}
+
+void CheckHeaderHygiene(const std::string& path, const LexResult& lex,
+                        const std::vector<ScopeInfo>& scopes,
+                        std::vector<Finding>* out) {
+  if (!IsHeaderPath(path)) return;
+  const std::string expected = ExpectedGuard(path);
+
+  // Include guard: the first two directives must be `#ifndef GUARD` /
+  // `#define GUARD` with the path-derived symbol.
+  auto directive_word = [](const std::string& text, size_t* rest) {
+    size_t sp = text.find_first_of(" \t");
+    if (sp == std::string::npos) sp = text.size();
+    *rest = text.find_first_not_of(" \t", sp);
+    return text.substr(0, sp);
+  };
+  bool guard_ok = false;
+  if (lex.directives.size() >= 2) {
+    size_t rest1 = 0, rest2 = 0;
+    const std::string w1 = directive_word(lex.directives[0].text, &rest1);
+    const std::string w2 = directive_word(lex.directives[1].text, &rest2);
+    const std::string sym1 = rest1 == std::string::npos
+                                 ? ""
+                                 : lex.directives[0].text.substr(rest1);
+    const std::string sym2 = rest2 == std::string::npos
+                                 ? ""
+                                 : lex.directives[1].text.substr(rest2);
+    guard_ok = w1 == "ifndef" && w2 == "define" && sym1 == expected &&
+               sym2 == expected;
+  }
+  if (!guard_ok) {
+    Emit(lex, out,
+         {path, lex.directives.empty() ? 1 : lex.directives[0].line, 1,
+          "header-hygiene",
+          "missing or non-conforming include guard; expected '#ifndef " +
+              expected + "' / '#define " + expected + "' as the first two "
+              "preprocessor lines"});
+  }
+
+  const std::vector<Token>& toks = lex.tokens;
+  // `using namespace` at namespace scope leaks into every includer.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (IsIdent(toks[i], "using") && IsIdent(toks[i + 1], "namespace") &&
+        !scopes[i].in_function) {
+      Emit(lex, out,
+           {path, toks[i].line, toks[i].col, "header-hygiene",
+            "'using namespace' at namespace scope in a header leaks the "
+            "namespace into every includer"});
+    }
+  }
+
+  // Self-containedness (include-what-you-use lite): std:: vocabulary
+  // types must be backed by a direct include.
+  std::set<std::string> included;
+  for (const PpDirective& d : lex.directives) {
+    size_t rest = 0;
+    if (directive_word(d.text, &rest) != "include") continue;
+    if (rest == std::string::npos) continue;
+    std::string spec = d.text.substr(rest);
+    if (spec.size() >= 2 && (spec.front() == '<' || spec.front() == '"')) {
+      const char close = spec.front() == '<' ? '>' : '"';
+      const size_t end = spec.find(close, 1);
+      if (end != std::string::npos) included.insert(spec.substr(1, end - 1));
+    }
+  }
+  std::set<std::string> reported;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "std") || !IsPunct(toks[i + 1], "::")) continue;
+    const auto it = StdSymbolHeaders().find(toks[i + 2].text);
+    if (it == StdSymbolHeaders().end()) continue;
+    if (included.count(it->second) > 0 || reported.count(it->second) > 0)
+      continue;
+    reported.insert(it->second);
+    Emit(lex, out,
+         {path, toks[i].line, toks[i].col, "header-hygiene",
+          "header uses std::" + it->first + " but does not include <" +
+              it->second + "> directly (headers must be self-contained)"});
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"status-discipline",
+       "calls to Status/Result-returning functions must not discard the "
+       "result"},
+      {"determinism",
+       "bans rand()/srand/std::random_device/time(nullptr) seeds and argless "
+       "clock ::now() outside util/stopwatch and bench code"},
+      {"concurrency-hygiene",
+       "no mutable function-local statics in non-test code; mutable members "
+       "need atomic/mutex where thread-safety is documented"},
+      {"header-hygiene",
+       "include guards must match CHAMELEON_<DIR>_<FILE>_H_; no 'using "
+       "namespace' at namespace scope in headers; headers must directly "
+       "include the std headers they use"},
+  };
+  return kRules;
+}
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string rel = path;
+  if (rel.rfind("./", 0) == 0) rel = rel.substr(2);
+  if (rel.rfind("src/", 0) == 0) rel = rel.substr(4);
+  std::string guard = "CHAMELEON_";
+  for (char c : rel) {
+    if (c == '.') break;  // drop the extension
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += "_H_";
+  return guard;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ":" +
+         std::to_string(finding.col) + ": [chameleon-" + finding.rule + "] " +
+         finding.message;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& source, const LexResult& lex,
+                              const FunctionRegistry& registry,
+                              const LintOptions& options) {
+  std::vector<Finding> out;
+  const std::vector<ScopeInfo> scopes = ComputeScopes(lex.tokens);
+  if (!options.IsDisabled("status-discipline")) {
+    CheckStatusDiscipline(path, lex, scopes, registry, &out);
+  }
+  if (!options.IsDisabled("determinism")) {
+    CheckDeterminism(path, lex, options, &out);
+  }
+  if (!options.IsDisabled("concurrency-hygiene")) {
+    CheckConcurrencyHygiene(path, source, lex, scopes, &out);
+  }
+  if (!options.IsDisabled("header-hygiene")) {
+    CheckHeaderHygiene(path, lex, scopes, &out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace chameleon_lint

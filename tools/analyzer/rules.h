@@ -1,0 +1,88 @@
+#ifndef CHAMELEON_TOOLS_ANALYZER_RULES_H_
+#define CHAMELEON_TOOLS_ANALYZER_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyzer/token.h"
+
+namespace chameleon_lint {
+
+/// One diagnostic. `rule` is the bare rule name (no "chameleon-" prefix);
+/// FormatFinding prints the canonical `file:line:col: [chameleon-rule] msg`.
+struct Finding {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    if (col != other.col) return col < other.col;
+    return rule < other.rule;
+  }
+};
+
+std::string FormatFinding(const Finding& finding);
+
+struct RuleInfo {
+  const char* name;  // bare name, e.g. "status-discipline"
+  const char* description;
+};
+
+/// All rules, in reporting order. Used by --list-rules and --disable
+/// validation.
+const std::vector<RuleInfo>& Rules();
+
+/// Name-indexed knowledge about functions declared across the scanned
+/// tree. chameleon-lint has no type resolution, so a name declared both
+/// with a Status/Result return and with some other return type is
+/// *ambiguous* and never flagged; keeping project APIs unambiguous is
+/// itself part of the discipline (see DESIGN.md).
+struct FunctionRegistry {
+  std::set<std::string> status_returning;
+  std::set<std::string> other_returning;
+
+  bool IsUnambiguousStatus(const std::string& name) const {
+    return status_returning.count(name) > 0 && other_returning.count(name) == 0;
+  }
+};
+
+/// Pass 1: records every function declaration/definition at namespace or
+/// class scope into `registry`, split by whether the return type mentions
+/// Status/Result.
+void CollectFunctions(const LexResult& lex, FunctionRegistry* registry);
+
+struct LintOptions {
+  /// Bare rule names to skip (accepts the "chameleon-" prefix too).
+  std::set<std::string> disabled;
+  /// Files whose (normalized, relative) path contains one of these
+  /// substrings are exempt from the determinism rule: wall-clock reads
+  /// are the whole point of a stopwatch, and bench harnesses time things.
+  std::vector<std::string> determinism_allowlist = {"util/stopwatch",
+                                                    "bench/"};
+
+  bool IsDisabled(const std::string& rule) const {
+    return disabled.count(rule) > 0;
+  }
+};
+
+/// Pass 2: runs every enabled rule over one file. `path` must be the
+/// repo-relative, '/'-separated path — header-guard expectations and the
+/// determinism allowlist key off it.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& source, const LexResult& lex,
+                              const FunctionRegistry& registry,
+                              const LintOptions& options);
+
+/// The include-guard symbol the project convention demands for a header
+/// at `path` (repo-relative): CHAMELEON_<DIR>_<FILE>_H_ with a leading
+/// "src/" dropped. Exposed for tests.
+std::string ExpectedGuard(const std::string& path);
+
+}  // namespace chameleon_lint
+
+#endif  // CHAMELEON_TOOLS_ANALYZER_RULES_H_

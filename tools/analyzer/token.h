@@ -1,0 +1,53 @@
+#ifndef CHAMELEON_TOOLS_ANALYZER_TOKEN_H_
+#define CHAMELEON_TOOLS_ANALYZER_TOKEN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace chameleon_lint {
+
+/// Lexical class of a token. The lexer is deliberately coarse: rules work
+/// on identifier/punctuation shapes, not a full grammar.
+enum class TokenKind {
+  kIdentifier,  // keywords included; rules compare text directly
+  kNumber,      // pp-number (handles 0x1F, 1'000'000, 1e-3)
+  kString,      // "..." including raw strings; text is the raw lexeme
+  kCharLiteral, // '...'
+  kPunct,       // single punctuation char, or the digraphs :: and ->
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+};
+
+/// One logical preprocessor line (backslash continuations folded).
+struct PpDirective {
+  std::string text;  // full text after '#', trimmed, e.g. "ifndef FOO_H_"
+  int line = 0;
+};
+
+/// Result of lexing one file. `nolint` maps a line number to the set of
+/// rule names suppressed on that line; the sentinel "*" suppresses every
+/// rule (a bare `// NOLINT`). NOLINTNEXTLINE entries are already folded
+/// onto the line they protect.
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<PpDirective> directives;
+  std::map<int, std::set<std::string>> nolint;
+};
+
+/// Tokenizes C++ source. Never fails: unterminated constructs are closed
+/// at end of file (the linter must degrade gracefully on odd input).
+LexResult Lex(const std::string& source);
+
+/// True when findings for `rule` are suppressed on `line`.
+bool IsSuppressed(const LexResult& lex, int line, const std::string& rule);
+
+}  // namespace chameleon_lint
+
+#endif  // CHAMELEON_TOOLS_ANALYZER_TOKEN_H_

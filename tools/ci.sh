@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # CI driver: builds and runs the tier-1 test suite under each sanitizer
-# configuration. Usage:
+# configuration, plus the chameleon-lint static-analysis gate. Usage:
 #
 #   tools/ci.sh            # all jobs
+#   tools/ci.sh lint       # chameleon-lint over src/, tests/, tools/analyzer/
 #   tools/ci.sh asan       # Debug + AddressSanitizer + UBSan only
 #   tools/ci.sh tsan       # RelWithDebInfo + ThreadSanitizer only
 #   tools/ci.sh release    # plain Release build + tests only
 #
 # Each job uses its own build directory (build-ci-<job>) so sanitizer
-# runtimes never mix and incremental rebuilds stay valid.
+# runtimes never mix and incremental rebuilds stay valid. All jobs build
+# with CHAMELEON_WERROR=ON: warnings are errors in CI.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +24,7 @@ run_job() {
   echo "==== [${name}] configure (${build_type}; flags: ${flags:-none}) ===="
   cmake -B "${dir}" -S . \
     -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DCHAMELEON_WERROR=ON \
     -DCMAKE_CXX_FLAGS="${flags}" \
     -DCMAKE_EXE_LINKER_FLAGS="${flags}" >/dev/null
   echo "==== [${name}] build ===="
@@ -30,7 +33,24 @@ run_job() {
   ctest --test-dir "${dir}" --output-on-failure
 }
 
+# Builds only the linter and runs it over the tree; exits nonzero on any
+# finding. Cheaper than a full test run, so it leads the `all` sequence.
+run_lint() {
+  local dir="build-ci-lint"
+  echo "==== [lint] configure (Release) ===="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCHAMELEON_WERROR=ON >/dev/null
+  echo "==== [lint] build chameleon-lint ===="
+  cmake --build "${dir}" -j "${PARALLEL}" --target chameleon-lint
+  echo "==== [lint] chameleon-lint src tests tools/analyzer ===="
+  "${dir}/tools/analyzer/chameleon-lint" --root=. src tests tools/analyzer
+}
+
 case "${JOBS}" in
+  lint)
+    run_lint
+    ;;
   release)
     run_job release Release ""
     ;;
@@ -43,12 +63,13 @@ case "${JOBS}" in
     run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
     ;;
   all)
+    run_lint
     run_job release Release ""
     run_job asan Debug "-fsanitize=address,undefined -fno-omit-frame-pointer"
     run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
     ;;
   *)
-    echo "unknown job '${JOBS}' (expected: all | release | asan | tsan)" >&2
+    echo "unknown job '${JOBS}' (expected: all | lint | release | asan | tsan)" >&2
     exit 2
     ;;
 esac
