@@ -30,7 +30,7 @@ int main() {
     return 1;
   }
   const auto& schema = corpus->dataset.schema();
-  const auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus->dataset);
   coverage::MupFinder finder(schema, counter);
 
   util::TablePrinter table({"tau", "target level", "#MUPs(all)",

@@ -40,7 +40,7 @@ data::Dataset MakeBinaryDataset(int d, int n, uint64_t seed) {
 void BM_FindMupsLattice(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
   const data::Dataset dataset = MakeBinaryDataset(d, 20000, 42);
-  const auto counter = coverage::PatternCounter::FromDataset(dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(dataset);
   coverage::MupFinder finder(dataset.schema(), counter);
   coverage::MupFinderOptions options;
   options.tau = 500;
@@ -56,7 +56,7 @@ BENCHMARK(BM_FindMupsLattice)->DenseRange(3, 9, 2);
 void BM_FindMupsLatticeParallel(benchmark::State& state) {
   const int d = 9;
   const data::Dataset dataset = MakeBinaryDataset(d, 20000, 42);
-  const auto counter = coverage::PatternCounter::FromDataset(dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(dataset);
   coverage::MupFinder finder(dataset.schema(), counter);
   coverage::MupFinderOptions options;
   options.tau = 500;
@@ -70,7 +70,7 @@ BENCHMARK(BM_FindMupsLatticeParallel)->Arg(1)->Arg(2)->Arg(4);
 void BM_FindMupsNaive(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
   const data::Dataset dataset = MakeBinaryDataset(d, 20000, 42);
-  const auto counter = coverage::PatternCounter::FromDataset(dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(dataset);
   coverage::MupFinder finder(dataset.schema(), counter);
   coverage::MupFinderOptions options;
   options.tau = 500;
@@ -84,7 +84,7 @@ void BM_PatternCount(benchmark::State& state) {
   const int d = 6;
   const data::Dataset dataset =
       MakeBinaryDataset(d, static_cast<int>(state.range(0)), 42);
-  const auto counter = coverage::PatternCounter::FromDataset(dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(dataset);
   data::Pattern pattern(d);
   pattern = pattern.WithCell(0, 1).WithCell(3, 0);
   for (auto _ : state) {

@@ -1,0 +1,89 @@
+// Micro-benchmarks for the resilience decorators: the cost of routing
+// every generation through ResilientFoundationModel when nothing fails
+// (the steady-state tax, budgeted at <2%), and the cost of masking a
+// hostile fault schedule (retries + backoff bookkeeping, all virtual
+// time — no sleeping).
+
+#include <benchmark/benchmark.h>
+
+#include "src/datasets/feret.h"
+#include "src/fm/flaky_foundation_model.h"
+#include "src/fm/foundation_model.h"
+#include "src/fm/resilient_foundation_model.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace chameleon;
+
+fm::GenerationRequest UnguidedRequest(int i) {
+  fm::GenerationRequest request;
+  request.target_values = {i % 2, i % 5};
+  return request;
+}
+
+// Baseline: the bare simulator. Everything below is measured against
+// this — any decorator overhead shows up as a delta on this number.
+void BM_GenerateBare(benchmark::State& state) {
+  const auto schema = datasets::FeretSchema();
+  fm::SimulatedFoundationModel model(schema, datasets::FeretFaceStyleFn(),
+                                     datasets::FeretScene(),
+                                     fm::SimulatedFoundationModel::Options());
+  util::Rng rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    auto result = model.Generate(UnguidedRequest(i++), &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateBare);
+
+// The resilient wrapper at a zero fault rate: one rng checkpoint copy,
+// one well-formedness check, and telemetry updates per query. This is
+// the configuration every healthy run pays for.
+void BM_GenerateResilientZeroFaults(benchmark::State& state) {
+  const auto schema = datasets::FeretSchema();
+  fm::SimulatedFoundationModel backend(schema, datasets::FeretFaceStyleFn(),
+                                       datasets::FeretScene(),
+                                       fm::SimulatedFoundationModel::Options());
+  fm::ResilientFoundationModel model(&backend, fm::ResilienceOptions());
+  util::Rng rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    auto result = model.Generate(UnguidedRequest(i++), &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateResilientZeroFaults);
+
+// Full stack under fire: 30% transient faults plus rate limits and
+// malformed responses, all masked by retries. Backoff is virtual time,
+// so the cost is redundant backend calls, not sleeping.
+void BM_GenerateResilientUnderFaults(benchmark::State& state) {
+  const auto schema = datasets::FeretSchema();
+  fm::SimulatedFoundationModel backend(schema, datasets::FeretFaceStyleFn(),
+                                       datasets::FeretScene(),
+                                       fm::SimulatedFoundationModel::Options());
+  fm::FlakyOptions flaky_options;
+  flaky_options.transient_rate = 0.3;
+  flaky_options.rate_limit_rate = 0.05;
+  flaky_options.malformed_rate = 0.05;
+  fm::FlakyFoundationModel flaky(&backend, flaky_options);
+  fm::ResilienceOptions resilience;
+  resilience.max_attempts = 16;
+  resilience.breaker_failure_threshold = 1 << 30;
+  fm::ResilientFoundationModel model(&flaky, resilience);
+  util::Rng rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    auto result = model.Generate(UnguidedRequest(i++), &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateResilientUnderFaults);
+
+}  // namespace

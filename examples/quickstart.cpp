@@ -22,7 +22,7 @@ namespace {
 using namespace chameleon;  // Example code; the library never does this.
 
 void PrintMups(const fm::Corpus& corpus, int64_t tau, const char* label) {
-  const auto counter = coverage::PatternCounter::FromDataset(corpus.dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus.dataset);
   coverage::MupFinder finder(corpus.dataset.schema(), counter);
   coverage::MupFinderOptions options;
   options.tau = tau;

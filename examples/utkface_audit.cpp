@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
               corpus->dataset.size(),
               static_cast<long long>(schema.NumCombinations()));
 
-  const auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus->dataset);
   coverage::MupFinder finder(schema, counter);
 
   for (int64_t tau : {200, 350, 1000, 2000}) {

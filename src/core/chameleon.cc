@@ -51,7 +51,8 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
     pool = std::make_unique<util::ThreadPool>(num_threads);
   }
 
-  while (accepted_here < count && attempts < attempt_cap &&
+  bool parked = false;
+  while (!parked && accepted_here < count && attempts < attempt_cap &&
          report->queries < options_.max_queries) {
     // Never submit more than the caps allow: a batch can accept at most
     // (count - accepted_here), so a capped batch issues exactly the
@@ -92,7 +93,21 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
       }
 
       auto generation = model_->Generate(request, rng);
-      if (!generation.ok()) return generation.status();
+      if (!generation.ok()) {
+        // A transport-level failure means the model's resilience layer
+        // (retries, breaker) already did what it could: park this plan
+        // entry and let the run continue, but evaluate and merge the
+        // candidates already submitted in this batch so the accounting
+        // and the bandit state stay exactly as if the batch were shorter.
+        if (options_.park_failing_entries &&
+            fm::IsTransportError(generation.status().code())) {
+          ++report->faults.transport_failures;
+          report->faults.parked_targets.push_back(target);
+          parked = true;
+          break;
+        }
+        return generation.status();
+      }
       ++report->queries;
 
       PendingCandidate candidate;
@@ -159,11 +174,12 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   RepairReport report;
   util::Rng rng(options_.seed);
   const data::AttributeSchema& schema = corpus->dataset.schema();
+  model_->OnRunStart();
 
   // 1. Detect the minimum-level MUPs.
-  const coverage::PatternCounter counter =
-      coverage::PatternCounter::FromDataset(corpus->dataset);
-  coverage::MupFinder finder(schema, counter);
+  auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  if (!counter.ok()) return counter.status();
+  coverage::MupFinder finder(schema, *counter);
   coverage::MupFinderOptions mup_options;
   mup_options.tau = options_.tau;
   mup_options.num_threads = options_.num_threads;
@@ -219,6 +235,11 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   report.fully_resolved = all_filled;
   report.total_cost = static_cast<double>(report.queries) *
                       model_->query_cost();
+  // Snapshot what the model's resilience layer (if any) absorbed, so
+  // benches and operators can see the faults behind the numbers.
+  if (const fm::FaultTelemetry* telemetry = model_->fault_telemetry()) {
+    report.faults.transport = *telemetry;
+  }
   return report;
 }
 

@@ -52,6 +52,13 @@ struct ChameleonOptions {
   /// in-order merge, so runs with different batch sizes may diverge;
   /// runs with different num_threads never do.
   int rejection_batch = 1;
+  /// Graceful degradation: when a generation fails with a transport-level
+  /// code (kUnavailable/kDeadlineExceeded/kResourceExhausted — i.e. the
+  /// model's own resilience layer already gave up), park the current plan
+  /// entry and keep working down the plan instead of failing the run.
+  /// Terminal codes (invalid request, internal bug) always abort the run.
+  /// false restores the legacy behaviour: any generation failure is fatal.
+  bool park_failing_entries = true;
 };
 
 /// One generated tuple's audit record: everything the benchmarks need to
@@ -71,6 +78,26 @@ struct GenerationRecord {
   bool accepted = false;
 };
 
+/// What the run's resilience machinery saw and absorbed: the pipeline's
+/// own degradation decisions plus a snapshot of the model's transport
+/// telemetry (when the model carries a resilience layer).
+struct FaultSummary {
+  /// Plan entries parked after a persistent transport failure, in plan
+  /// order. A parked entry keeps whatever tuples it accepted before the
+  /// failure; the run continues with the next entry.
+  std::vector<std::vector<int>> parked_targets;
+  /// Generation calls that surfaced a transport error to the pipeline
+  /// (each one parks an entry when park_failing_entries is set).
+  int64_t transport_failures = 0;
+  /// Cumulative snapshot of the model's fault telemetry at the end of the
+  /// run (zeros when the model has no resilience layer).
+  fm::FaultTelemetry transport;
+
+  int64_t parked_entries() const {
+    return static_cast<int64_t>(parked_targets.size());
+  }
+};
+
 /// Summary of a repair run.
 struct RepairReport {
   /// MUPs at the minimum level before repair, with gaps.
@@ -86,6 +113,10 @@ struct RepairReport {
   int64_t quality_passes = 0;       // independent of the distribution outcome
   double total_cost = 0.0;
   bool fully_resolved = false;
+
+  /// Fault telemetry: what the resilience layer absorbed and what the
+  /// pipeline parked. Empty/zero on a healthy run.
+  FaultSummary faults;
 
   std::vector<GenerationRecord> records;
 

@@ -1,8 +1,6 @@
 #include "src/coverage/pattern_counter.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
 namespace chameleon::coverage {
 
@@ -14,17 +12,14 @@ PatternCounter::PatternCounter(const data::AttributeSchema& schema)
   }
 }
 
-PatternCounter PatternCounter::FromDataset(const data::Dataset& dataset) {
+util::Result<PatternCounter> PatternCounter::FromDataset(
+    const data::Dataset& dataset) {
   PatternCounter counter(dataset.schema());
   for (const auto& t : dataset.tuples()) {
-    // Dataset::Add validated every tuple against the same schema, so a
-    // failure here is a programming error, not recoverable input.
-    const util::Status status = counter.AddTuple(t.values);
-    if (!status.ok()) {
-      std::fprintf(stderr, "PatternCounter::FromDataset: %s\n",
-                   status.ToString().c_str());
-      std::abort();
-    }
+    // Dataset::Add validates on insert, but tuples are mutable in place
+    // (Dataset::mutable_tuple), so a mismatch is recoverable input here,
+    // not a reason to abort the process.
+    CHAMELEON_RETURN_NOT_OK(counter.AddTuple(t.values));
   }
   return counter;
 }

@@ -22,8 +22,12 @@ class PatternCounter {
  public:
   explicit PatternCounter(const data::AttributeSchema& schema);
 
-  /// Builds the index over all tuples currently in `dataset`.
-  static PatternCounter FromDataset(const data::Dataset& dataset);
+  /// Builds the index over all tuples currently in `dataset`. Returns
+  /// InvalidArgument when a tuple does not fit the dataset's schema
+  /// (reachable via Dataset::mutable_tuple; Dataset::Add validates on
+  /// insert). Like the rest of the library, this never aborts.
+  static util::Result<PatternCounter> FromDataset(
+      const data::Dataset& dataset);
 
   /// Registers one tuple's attribute values. Ids are assigned in call
   /// order and must be appended in increasing order (as Dataset does).

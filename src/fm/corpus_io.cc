@@ -1,6 +1,8 @@
 #include "src/fm/corpus_io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -27,6 +29,29 @@ std::vector<std::string> SplitCsv(const std::string& line) {
   std::istringstream stream(line);
   while (std::getline(stream, field, ',')) fields.push_back(field);
   return fields;
+}
+
+// Strict numeric field parsers: the whole field must parse, so a
+// truncated or corrupted row fails loudly instead of atoi-ing to 0 and
+// producing a silently-wrong corpus.
+bool ParseInt64(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = value;
+  return true;
 }
 
 util::Status WriteTextFile(const std::string& path,
@@ -136,10 +161,14 @@ util::Result<Corpus> LoadCorpus(const std::string& directory) {
       while (std::getline(in, line)) {
         if (line.empty()) continue;
         const auto fields = SplitCsv(line);
-        if (fields.size() != 2) {
+        int64_t row_id = 0;
+        double realism = 0.0;
+        if (fields.size() != 2 || !ParseInt64(fields[0], &row_id) ||
+            !ParseDouble(fields[1], &realism) ||
+            row_id != static_cast<int64_t>(corpus.realism.size())) {
           return util::Status::IoError("malformed realism row: " + line);
         }
-        corpus.realism.push_back(std::atof(fields[1].c_str()));
+        corpus.realism.push_back(realism);
       }
     }
   }
@@ -163,6 +192,9 @@ util::Result<Corpus> LoadCorpus(const std::string& directory) {
                                    "/tuples.csv");
     }
     std::string line;
+    // Embedding arity is fixed per corpus: the first row pins K and every
+    // later row must agree, so a truncated tail row cannot slip through.
+    int64_t embedding_dim = -1;
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       const auto fields = SplitCsv(line);
@@ -170,16 +202,50 @@ util::Result<Corpus> LoadCorpus(const std::string& directory) {
         return util::Status::IoError("malformed tuple row: " + line);
       }
       data::Tuple tuple;
-      tuple.payload_id = std::atoll(fields[0].c_str());
+      if (!ParseInt64(fields[0], &tuple.payload_id)) {
+        return util::Status::IoError("malformed tuple payload id: " + line);
+      }
+      if (fields[1] != "0" && fields[1] != "1") {
+        return util::Status::IoError("malformed tuple synthetic flag: " +
+                                     line);
+      }
       tuple.synthetic = fields[1] == "1";
       for (int a = 0; a < d; ++a) {
-        tuple.values.push_back(std::atoi(fields[2 + a].c_str()));
+        int64_t value = 0;
+        if (!ParseInt64(fields[2 + a], &value)) {
+          return util::Status::IoError("malformed tuple value: " + line);
+        }
+        tuple.values.push_back(static_cast<int>(value));
       }
       for (size_t f = 2 + d; f < fields.size(); ++f) {
-        tuple.embedding.push_back(std::atof(fields[f].c_str()));
+        double entry = 0.0;
+        if (!ParseDouble(fields[f], &entry)) {
+          return util::Status::IoError("malformed tuple embedding: " + line);
+        }
+        tuple.embedding.push_back(entry);
+      }
+      const int64_t dim = static_cast<int64_t>(tuple.embedding.size());
+      if (embedding_dim < 0) {
+        embedding_dim = dim;
+      } else if (dim != embedding_dim) {
+        return util::Status::IoError(
+            "inconsistent embedding arity (expected " +
+            std::to_string(embedding_dim) + " entries): " + line);
+      }
+      if (have_images &&
+          (tuple.payload_id < 0 ||
+           tuple.payload_id >= static_cast<int64_t>(corpus.images.size()))) {
+        return util::Status::IoError("tuple payload id out of range: " + line);
       }
       if (!have_images) tuple.payload_id = -1;
-      CHAMELEON_RETURN_NOT_OK(corpus.dataset.Add(std::move(tuple)));
+      const util::Status added = corpus.dataset.Add(std::move(tuple));
+      if (!added.ok()) {
+        // Schema-level rejection of on-disk data is still a corrupt file
+        // from the caller's perspective: surface it as kIoError, never a
+        // partial corpus.
+        return util::Status::IoError("invalid tuple row (" + added.message() +
+                                     "): " + line);
+      }
     }
   }
   if (!have_images) corpus.realism.clear();

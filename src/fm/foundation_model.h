@@ -1,6 +1,7 @@
 #ifndef CHAMELEON_FM_FOUNDATION_MODEL_H_
 #define CHAMELEON_FM_FOUNDATION_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,9 +39,40 @@ struct GenerationResult {
   double latent_realism = 1.0;
 };
 
+/// True for the retryable transport-level status family: the backend was
+/// reachable-in-principle but could not serve this request right now
+/// (outage, latency spike past the deadline, rate limit). Everything else
+/// — invalid arguments, schema mismatches, internal bugs — is terminal:
+/// retrying the identical request cannot help.
+inline bool IsTransportError(util::StatusCode code) {
+  return code == util::StatusCode::kUnavailable ||
+         code == util::StatusCode::kDeadlineExceeded ||
+         code == util::StatusCode::kResourceExhausted;
+}
+
+/// Counters describing what a resilience layer absorbed. All time figures
+/// are *virtual* milliseconds (the library never reads a wall clock on
+/// pipeline paths — see the chameleon-determinism lint rule).
+struct FaultTelemetry {
+  int64_t attempts = 0;            ///< backend calls issued, incl. retries
+  int64_t retries = 0;             ///< attempts beyond the first, per query
+  int64_t faults_masked = 0;       ///< queries that succeeded only via retry
+  int64_t malformed_results = 0;   ///< OK responses rejected by validation
+  int64_t failed_queries = 0;      ///< queries that returned non-OK upward
+  int64_t fail_fast_rejections = 0;  ///< rejected while the breaker was open
+  int64_t breaker_opens = 0;       ///< closed -> open transitions
+  int64_t breaker_reopens = 0;     ///< half-open probe failed
+  int64_t breaker_closes = 0;      ///< half-open probe succeeded
+  double backoff_ms = 0.0;         ///< virtual time spent backing off
+};
+
 /// Black-box generative foundation model (§2.2). Implementations must be
 /// usable interchangeably by the repair pipeline; the library ships a
 /// simulator, and a hosted DALL·E-style backend would plug in here.
+///
+/// The query counter is thread-safe: decorators (and future pipelines) may
+/// issue Generate calls from worker threads, and a plain int64_t here
+/// would be a data race. All other state is implementation-defined.
 class FoundationModel {
  public:
   virtual ~FoundationModel() = default;
@@ -51,15 +83,26 @@ class FoundationModel {
   /// Fixed cost v per query (monetary for hosted models).
   virtual double query_cost() const = 0;
 
-  int64_t num_queries() const { return num_queries_; }
-  double total_cost() const { return num_queries_ * query_cost(); }
+  /// Called by the pipeline at the start of each repair run. Resilience
+  /// decorators reset per-run state (e.g. the virtual run deadline) here;
+  /// plain backends ignore it.
+  virtual void OnRunStart() {}
+
+  /// Fault-telemetry snapshot, or nullptr for models with no resilience
+  /// layer. Counters are cumulative over the model's lifetime.
+  virtual const FaultTelemetry* fault_telemetry() const { return nullptr; }
+
+  int64_t num_queries() const {
+    return num_queries_.load(std::memory_order_relaxed);
+  }
+  double total_cost() const { return num_queries() * query_cost(); }
 
  protected:
-  /// Implementations call this once per issued query.
-  void RecordQuery() { ++num_queries_; }
+  /// Implementations call this once per issued query. Thread-safe.
+  void RecordQuery() { num_queries_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
-  int64_t num_queries_ = 0;
+  std::atomic<int64_t> num_queries_{0};
 };
 
 /// Builds a DALL·E-style prompt for a combination, e.g.

@@ -21,6 +21,12 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnimplemented,
+  // Transport-level codes for remote backends (foundation models, §2.2).
+  // These are the *retryable* family: the request was well-formed but the
+  // backend could not serve it right now. See fm::IsTransportError.
+  kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -65,6 +71,15 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -196,6 +196,44 @@ void Caller(bool flip) {
   EXPECT_EQ(CountRule(findings, "status-discipline"), 2);
 }
 
+TEST(StatusDisciplineTest, SeededResilienceApisAreFlaggedWithoutDeclarations) {
+  // The resilience surface (ResilientFoundationModel::Generate and
+  // friends) is seeded into the registry, so a discarded call is flagged
+  // even when the declaring header is outside the linted set.
+  const std::string source = R"(
+void Caller(fm::ResilientFoundationModel* model, util::Rng* rng,
+            const fm::GenerationRequest& request) {
+  model->Generate(request, rng);
+  fm::LoadCorpus("/tmp/corpus");
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 2);
+
+  // Without the seed, the same source is silent — the declarations are
+  // not in view.
+  EXPECT_EQ(CountRule(LintSource("src/a.cc", source), "status-discipline"), 0);
+}
+
+TEST(StatusDisciplineTest, SeededNamesStillGoAmbiguousOnCollision) {
+  const std::string source = R"(
+struct Legacy { void Generate(int x); };
+void Caller(Legacy* legacy) {
+  legacy->Generate(1);
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
 TEST(StatusDisciplineTest, DisableFlagTurnsRuleOff) {
   LintOptions options;
   options.disabled.insert("status-discipline");

@@ -26,7 +26,7 @@ class ChameleonFeretTest : public ::testing::Test {
 
   std::vector<coverage::Mup> CurrentMups(int64_t tau) const {
     const auto counter =
-        coverage::PatternCounter::FromDataset(corpus_.dataset);
+        *coverage::PatternCounter::FromDataset(corpus_.dataset);
     coverage::MupFinder finder(corpus_.dataset.schema(), counter);
     coverage::MupFinderOptions options;
     options.tau = tau;
@@ -179,7 +179,7 @@ TEST(ChameleonChallengeTest, ResolvesDesignedLevel3Mups) {
   EXPECT_EQ(report->initial_mups.size(), 16u);
   EXPECT_TRUE(report->fully_resolved);
 
-  const auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus->dataset);
   coverage::MupFinder finder(corpus->dataset.schema(), counter);
   coverage::MupFinderOptions mup_options;
   mup_options.tau = 10;

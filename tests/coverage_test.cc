@@ -37,10 +37,27 @@ data::Dataset RandomDataset(const data::AttributeSchema& schema, int n,
   return dataset;
 }
 
+TEST(PatternCounterTest, OutOfSchemaTupleIsAStatusNotACrash) {
+  // Dataset::Add validates on ingest, but tuples are mutable in place
+  // (corpus post-processing edits them), so FromDataset can legitimately
+  // meet values outside the schema. That used to abort the process; it
+  // must surface as a Status instead.
+  const auto schema = BinarySchema(2);
+  data::Dataset dataset(schema);
+  data::Tuple tuple;
+  tuple.values = {0, 1};
+  ASSERT_TRUE(dataset.Add(std::move(tuple)).ok());
+  dataset.mutable_tuple(0).values[1] = 999;  // corrupt after ingest
+
+  const auto counter = PatternCounter::FromDataset(dataset);
+  ASSERT_FALSE(counter.ok());
+  EXPECT_EQ(counter.status().code(), util::StatusCode::kInvalidArgument);
+}
+
 TEST(PatternCounterTest, MatchesLinearScan) {
   const auto schema = BinarySchema(4);
   const auto dataset = RandomDataset(schema, 500, 3);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   EXPECT_EQ(counter.num_tuples(), 500);
 
   util::Rng rng(5);
@@ -58,7 +75,7 @@ TEST(PatternCounterTest, MatchesLinearScan) {
 TEST(PatternCounterTest, MatchingReturnsSortedIds) {
   const auto schema = BinarySchema(3);
   const auto dataset = RandomDataset(schema, 100, 9);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   const data::Pattern pattern({1, data::Pattern::kUnspecified,
                                data::Pattern::kUnspecified});
   const auto ids = counter.Matching(pattern);
@@ -94,7 +111,7 @@ TEST(MupFinderTest, EmptyWhenFullyCovered) {
       }
     }
   }
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 5;
@@ -107,7 +124,7 @@ TEST(MupFinderTest, RootIsMupWhenDatasetTooSmall) {
   data::Tuple t;
   t.values = {0, 0};
   ASSERT_TRUE(dataset.Add(t).ok());
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 10;
@@ -132,7 +149,7 @@ TEST(MupFinderTest, FindsDesignedMup) {
   add(0, 1, 20);
   add(1, 0, 20);
   add(1, 1, 2);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 10;
@@ -147,7 +164,7 @@ TEST(MupFinderTest, MupPropertiesHold) {
   // Every reported MUP must be uncovered with all parents covered.
   const auto schema = BinarySchema(5);
   const auto dataset = RandomDataset(schema, 2000, 21);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 60;
@@ -166,7 +183,7 @@ TEST(MupFinderTest, MupPropertiesHold) {
 TEST(MupFinderTest, MaxLevelRestrictsOutput) {
   const auto schema = BinarySchema(5);
   const auto dataset = RandomDataset(schema, 2000, 21);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 60;
@@ -195,7 +212,7 @@ TEST_P(MupAgreementTest, LatticeMatchesNaive) {
   const int d = 3 + static_cast<int>(seed % 3);
   const auto schema = BinarySchema(d);
   const auto dataset = RandomDataset(schema, 800, seed);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 20 + static_cast<int64_t>(seed % 5) * 40;
@@ -241,7 +258,7 @@ TEST_P(MupParallelAgreementTest, ParallelMatchesSerial) {
   const int d = 3 + static_cast<int>(seed % 3);
   const auto schema = BinarySchema(d);
   const auto dataset = RandomDataset(schema, 800, seed);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 20 + static_cast<int64_t>(seed % 5) * 40;
@@ -267,7 +284,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MupParallelAgreementTest,
 TEST(MupFinderTest, ParallelRespectsMaxLevel) {
   const auto schema = BinarySchema(5);
   const auto dataset = RandomDataset(schema, 2000, 21);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 60;
@@ -283,7 +300,7 @@ TEST(MupFinderTest, LatticeIssuesFewerCountsThanFullMaterialization) {
   // whole sublattices the naive algorithm would count.
   const auto schema = BinarySchema(7);
   const auto dataset = RandomDataset(schema, 4000, 5);
-  const auto counter = PatternCounter::FromDataset(dataset);
+  const auto counter = *PatternCounter::FromDataset(dataset);
   MupFinder finder(schema, counter);
   MupFinderOptions options;
   options.tau = 2000;  // high threshold -> shallow uncovered frontier

@@ -73,7 +73,7 @@ TEST(FeretTest, UncoveredGroupsAtPaperThreshold) {
   options.render.render_images = false;
   auto corpus = MakeFeret(&embedder, options);
   ASSERT_TRUE(corpus.ok());
-  const auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus->dataset);
   coverage::MupFinder finder(corpus->dataset.schema(), counter);
   coverage::MupFinderOptions mup_options;
   mup_options.tau = 100;
@@ -132,7 +132,7 @@ TEST(UtkFaceTest, Figure6ThresholdRegimes) {
   options.render.render_images = false;
   auto corpus = MakeUtkFace(&embedder, options);
   ASSERT_TRUE(corpus.ok());
-  const auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus->dataset);
   coverage::MupFinder finder(corpus->dataset.schema(), counter);
 
   // tau = 200/350: no level-1 MUPs; tau = 1000/2000: level-1 MUPs exist.
@@ -174,7 +174,7 @@ TEST(UtkFaceTest, ChallengeSubsetYieldsExactlyTheDesignedMups) {
   options.render.render_images = false;
   auto corpus = MakeUtkFaceChallengeSubset(&embedder, options);
   ASSERT_TRUE(corpus.ok());
-  const auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus->dataset);
   coverage::MupFinder finder(corpus->dataset.schema(), counter);
   coverage::MupFinderOptions mup_options;
   mup_options.tau = 10;

@@ -7,6 +7,11 @@
 #pragma GCC diagnostic ignored "-Wnonnull"
 #endif
 
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "src/fm/corpus_io.h"
 #include "src/datasets/feret.h"
@@ -295,6 +300,134 @@ TEST(CorpusIoTest, AnnotationOnlyRoundTrip) {
 
 TEST(CorpusIoTest, LoadFailsOnMissingDirectory) {
   EXPECT_FALSE(LoadCorpus("/nonexistent/corpus/dir").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted-corpus fixtures: a malformed tuples.csv row or a short-read
+// image payload must surface kIoError — never a silently-wrong corpus.
+// ---------------------------------------------------------------------------
+
+class CorpusCorruptionTest : public ::testing::Test {
+ protected:
+  /// Saves a small valid FERET-schema corpus (with images) into a fresh
+  /// directory named after the running test, and returns the directory.
+  std::string SaveValidCorpus() {
+    Corpus corpus;
+    corpus.dataset = data::Dataset(datasets::FeretSchema());
+    util::Rng rng(5);
+    for (int i = 0; i < 4; ++i) {
+      data::Tuple tuple;
+      tuple.values = {i % 2, i % 5};
+      tuple.embedding = {rng.NextDouble(), rng.NextDouble()};
+      image::Image img(4, 4, 3, static_cast<uint8_t>(40 * i));
+      EXPECT_TRUE(corpus.Add(std::move(tuple), std::move(img), 0.9).ok());
+    }
+    const std::string dir =
+        ::testing::TempDir() + "/corrupt_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    EXPECT_TRUE(SaveCorpus(corpus, dir).ok());
+    return dir;
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  static void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    EXPECT_TRUE(out.good()) << path;
+    out << content;
+  }
+
+  static void ExpectLoadIoError(const std::string& dir) {
+    const auto loaded = LoadCorpus(dir);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError)
+        << loaded.status().ToString();
+  }
+};
+
+TEST_F(CorpusCorruptionTest, NonNumericValueFieldIsRejected) {
+  const std::string dir = SaveValidCorpus();
+  std::string tuples = ReadFile(dir + "/tuples.csv");
+  const auto comma = tuples.find(',');
+  ASSERT_NE(comma, std::string::npos);
+  tuples.replace(0, comma, "abc");  // payload_id is not a number any more
+  WriteFile(dir + "/tuples.csv", tuples);
+  ExpectLoadIoError(dir);
+}
+
+TEST_F(CorpusCorruptionTest, TruncatedTuplesRowIsRejected) {
+  const std::string dir = SaveValidCorpus();
+  WriteFile(dir + "/tuples.csv",
+            ReadFile(dir + "/tuples.csv") + "3,0\n");  // too few fields
+  ExpectLoadIoError(dir);
+}
+
+TEST_F(CorpusCorruptionTest, NonBinarySyntheticFlagIsRejected) {
+  const std::string dir = SaveValidCorpus();
+  std::string tuples = ReadFile(dir + "/tuples.csv");
+  const auto first_row_end = tuples.find('\n');
+  ASSERT_NE(first_row_end, std::string::npos);
+  std::string first_row = tuples.substr(0, first_row_end);
+  const auto flag_start = first_row.find(',') + 1;
+  const auto flag_end = first_row.find(',', flag_start);
+  first_row.replace(flag_start, flag_end - flag_start, "2");
+  WriteFile(dir + "/tuples.csv",
+            first_row + tuples.substr(first_row_end));
+  ExpectLoadIoError(dir);
+}
+
+TEST_F(CorpusCorruptionTest, InconsistentEmbeddingArityIsRejected) {
+  const std::string dir = SaveValidCorpus();
+  std::string tuples = ReadFile(dir + "/tuples.csv");
+  // Drop the last embedding entry of the final row: its arity no longer
+  // matches the arity pinned by the first row.
+  while (!tuples.empty() && tuples.back() == '\n') tuples.pop_back();
+  const auto last_comma = tuples.rfind(',');
+  ASSERT_NE(last_comma, std::string::npos);
+  WriteFile(dir + "/tuples.csv", tuples.substr(0, last_comma) + "\n");
+  ExpectLoadIoError(dir);
+}
+
+TEST_F(CorpusCorruptionTest, OutOfDomainValueIsRejected) {
+  const std::string dir = SaveValidCorpus();
+  std::string tuples = ReadFile(dir + "/tuples.csv");
+  // Rewrite row 0's first attribute value (field 3) to an index outside
+  // the schema domain. Strict parsing passes; Dataset::Add must not.
+  std::vector<std::string> fields;
+  const auto row_end = tuples.find('\n');
+  std::stringstream row(tuples.substr(0, row_end));
+  std::string field;
+  while (std::getline(row, field, ',')) fields.push_back(field);
+  ASSERT_GE(fields.size(), 4u);
+  fields[2] = "999";
+  std::string rebuilt;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    rebuilt += (i ? "," : "") + fields[i];
+  }
+  WriteFile(dir + "/tuples.csv", rebuilt + tuples.substr(row_end));
+  ExpectLoadIoError(dir);
+}
+
+TEST_F(CorpusCorruptionTest, TruncatedImagePayloadIsRejected) {
+  const std::string dir = SaveValidCorpus();
+  const std::string path = dir + "/images/000000.ppm";
+  const std::string ppm = ReadFile(path);
+  ASSERT_GT(ppm.size(), 16u);
+  WriteFile(path, ppm.substr(0, ppm.size() / 2));  // short read mid-raster
+  ExpectLoadIoError(dir);
+}
+
+TEST_F(CorpusCorruptionTest, GarbageRealismRowIsRejected) {
+  const std::string dir = SaveValidCorpus();
+  WriteFile(dir + "/realism.csv",
+            ReadFile(dir + "/realism.csv") + "banana,0.9\n");
+  ExpectLoadIoError(dir);
 }
 
 }  // namespace

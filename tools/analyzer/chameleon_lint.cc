@@ -129,6 +129,7 @@ int main(int argc, char** argv) {
   std::vector<FileData> data;
   data.reserve(files.size());
   FunctionRegistry registry;
+  chameleon_lint::SeedProjectStatusApis(&registry);
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {

@@ -207,6 +207,26 @@ void CollectFunctions(const LexResult& lex, FunctionRegistry* registry) {
   }
 }
 
+void SeedProjectStatusApis(FunctionRegistry* registry) {
+  // The project's cross-module Status/Result surface, including the
+  // fault-tolerant foundation-model client (FoundationModel::Generate and
+  // its Flaky/Resilient decorators). Keep this list of names unambiguous
+  // in the live tree: a colliding non-Status declaration silences the
+  // rule for that name.
+  static const char* const kKnownStatusApis[] = {
+      "Generate",           // FoundationModel + Flaky/Resilient decorators
+      "GenerateAccepted",   // core::Chameleon
+      "RepairMinLevelMups", // core::Chameleon
+      "FromDataset",        // coverage::PatternCounter
+      "AddTuple",           // coverage::PatternCounter
+      "LoadCorpus",         // fm corpus persistence
+      "SaveCorpus",
+  };
+  for (const char* name : kKnownStatusApis) {
+    registry->status_returning.insert(name);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Pass 2: rules
 // ---------------------------------------------------------------------------

@@ -56,6 +56,13 @@ struct FunctionRegistry {
 /// Status/Result.
 void CollectFunctions(const LexResult& lex, FunctionRegistry* registry);
 
+/// Seeds the registry with the project's known Status/Result-returning
+/// API names (the foundation-model resilience surface among them), so a
+/// discarded call is flagged even in a translation unit that never sees
+/// the declaration. Names that the scan later also finds with a
+/// non-Status return become ambiguous and drop out, as usual.
+void SeedProjectStatusApis(FunctionRegistry* registry);
+
 struct LintOptions {
   /// Bare rule names to skip (accepts the "chameleon-" prefix too).
   std::set<std::string> disabled;

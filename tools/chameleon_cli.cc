@@ -109,7 +109,7 @@ bool LoadDataset(const Flags& flags, const embedding::SimulatedEmbedder& embedde
 }
 
 std::vector<coverage::Mup> FindMups(const fm::Corpus& corpus, int64_t tau) {
-  const auto counter = coverage::PatternCounter::FromDataset(corpus.dataset);
+  const auto counter = *coverage::PatternCounter::FromDataset(corpus.dataset);
   coverage::MupFinder finder(corpus.dataset.schema(), counter);
   coverage::MupFinderOptions options;
   options.tau = tau;

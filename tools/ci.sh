@@ -6,6 +6,7 @@
 #   tools/ci.sh lint       # chameleon-lint over src/, tests/, tools/analyzer/
 #   tools/ci.sh asan       # Debug + AddressSanitizer + UBSan only
 #   tools/ci.sh tsan       # RelWithDebInfo + ThreadSanitizer only
+#   tools/ci.sh faults     # fault-injection/resilience suite under ASan/UBSan
 #   tools/ci.sh release    # plain Release build + tests only
 #
 # Each job uses its own build directory (build-ci-<job>) so sanitizer
@@ -31,6 +32,26 @@ run_job() {
   cmake --build "${dir}" -j "${PARALLEL}"
   echo "==== [${name}] ctest ===="
   ctest --test-dir "${dir}" --output-on-failure
+}
+
+# Fault-injection gate: the resilience suite (flaky/resilient decorators,
+# graceful pipeline degradation, corpus-corruption handling) under
+# ASan/UBSan, where a mis-handled fault path shows up as a real error
+# rather than flaky behaviour. The TSan job above covers the atomic query
+# counter via the same suite at full breadth.
+run_faults() {
+  local dir="build-ci-faults"
+  local flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  echo "==== [faults] configure (Debug + ASan/UBSan) ===="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCHAMELEON_WERROR=ON \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${flags}" >/dev/null
+  echo "==== [faults] build resilience + fm tests ===="
+  cmake --build "${dir}" -j "${PARALLEL}" --target resilience_test fm_test
+  echo "==== [faults] ctest (resilience_test, fm_test) ===="
+  ctest --test-dir "${dir}" --output-on-failure -R '^(resilience_test|fm_test)$'
 }
 
 # Builds only the linter and runs it over the tree; exits nonzero on any
@@ -62,14 +83,18 @@ case "${JOBS}" in
     # tests fast enough while preserving stacks.
     run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
     ;;
+  faults)
+    run_faults
+    ;;
   all)
     run_lint
     run_job release Release ""
     run_job asan Debug "-fsanitize=address,undefined -fno-omit-frame-pointer"
     run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
+    run_faults
     ;;
   *)
-    echo "unknown job '${JOBS}' (expected: all | lint | release | asan | tsan)" >&2
+    echo "unknown job '${JOBS}' (expected: all | lint | release | asan | tsan | faults)" >&2
     exit 2
     ;;
 esac
