@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "src/coverage/pattern_counter.h"
+#include "src/obs/observability.h"
 #include "src/util/thread_pool.h"
 
 namespace chameleon::core {
@@ -21,6 +24,50 @@ struct PendingCandidate {
   // Filled by the (possibly parallel) evaluation stage.
   std::vector<double> embedding;
   RejectionOutcome outcome;
+};
+
+/// Renders a plan-entry target as "v0,v1,..." for journal events.
+std::string FormatTarget(const std::vector<int>& target) {
+  std::string out;
+  for (size_t i = 0; i < target.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(target[i]);
+  }
+  return out;
+}
+
+/// Instrument handles for the generate→reject loop, resolved once per
+/// GenerateAccepted call (Registry lookups are mutex-guarded; the loop
+/// itself must only pay atomic increments). All null when observability
+/// is off.
+struct LoopInstruments {
+  obs::Counter* fm_queries = nullptr;
+  obs::Counter* fm_parked = nullptr;
+  obs::Counter* guide_with = nullptr;
+  obs::Counter* guide_without = nullptr;
+  obs::Counter* accepted = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* rejected_distribution = nullptr;
+  obs::Counter* rejected_quality = nullptr;
+  obs::Counter* rejected_both = nullptr;
+  obs::Histogram* decision_value = nullptr;
+  obs::Histogram* quality_p = nullptr;
+
+  explicit LoopInstruments(obs::Registry* registry) {
+    fm_queries = registry->Counter("fm.queries");
+    fm_parked = registry->Counter("fm.parked");
+    guide_with = registry->Counter("guide.with_guide");
+    guide_without = registry->Counter("guide.no_guide");
+    accepted = registry->Counter("rejection.accepted");
+    rejected = registry->Counter("rejection.rejected");
+    rejected_distribution = registry->Counter("rejection.rejected_distribution");
+    rejected_quality = registry->Counter("rejection.rejected_quality");
+    rejected_both = registry->Counter("rejection.rejected_both");
+    decision_value = registry->Histogram(
+        "rejection.decision_value", {-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0});
+    quality_p = registry->Histogram(
+        "rejection.quality_p", {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0});
+  }
 };
 
 }  // namespace
@@ -51,6 +98,17 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
     pool = std::make_unique<util::ThreadPool>(num_threads);
   }
 
+  obs::Observability* const obs = options_.observability;
+  std::optional<LoopInstruments> metrics;
+  std::optional<obs::Span> entry_span;
+  if (obs != nullptr) {
+    metrics.emplace(&obs->registry);
+    entry_span.emplace(obs->tracer.StartSpan("plan.entry"));
+    obs->journal.Record(obs::JournalEvent("plan.entry")
+                            .Set("target", FormatTarget(target))
+                            .Set("count", count));
+  }
+
   bool parked = false;
   while (!parked && accepted_here < count && attempts < attempt_cap &&
          report->queries < options_.max_queries) {
@@ -60,6 +118,11 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
     const int64_t batch = std::min(
         {batch_limit, count - accepted_here, attempt_cap - attempts,
          options_.max_queries - report->queries});
+
+    std::optional<obs::Span> batch_span;
+    if (obs != nullptr) {
+      batch_span.emplace(obs->tracer.StartSpan("rejection.batch"));
+    }
 
     // Submission: everything that touches the master rng or reads
     // mutable pipeline state runs serially, in the same order the legacy
@@ -72,6 +135,16 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
 
       auto choice = selector->Select(corpus->dataset, target, rng);
       if (!choice.ok()) return choice.status();
+      if (obs != nullptr) {
+        (choice->has_guide ? metrics->guide_with : metrics->guide_without)
+            ->Increment();
+        obs->registry.Counter("guide.arm." + std::to_string(choice->arm))
+            ->Increment();
+        obs->journal.Record(obs::JournalEvent("fm.query")
+                                .Set("target", FormatTarget(target))
+                                .Set("arm", choice->arm)
+                                .Set("guided", choice->has_guide));
+      }
 
       fm::GenerationRequest request;
       request.target_values = target;
@@ -92,6 +165,10 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
         request.mask = &mask;
       }
 
+      // `fm.queries` counts issued queries — incremented before the call
+      // so it equals FoundationModel::num_queries() whatever the outcome
+      // (the contract test in chameleon_test.cc pins both identities).
+      if (obs != nullptr) metrics->fm_queries->Increment();
       auto generation = model_->Generate(request, rng);
       if (!generation.ok()) {
         // A transport-level failure means the model's resilience layer
@@ -103,6 +180,14 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
             fm::IsTransportError(generation.status().code())) {
           ++report->faults.transport_failures;
           report->faults.parked_targets.push_back(target);
+          if (obs != nullptr) {
+            metrics->fm_parked->Increment();
+            obs->journal.Record(
+                obs::JournalEvent("fm.parked")
+                    .Set("target", FormatTarget(target))
+                    .Set("code",
+                         util::StatusCodeName(generation.status().code())));
+          }
           parked = true;
           break;
         }
@@ -142,6 +227,35 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
       report->quality_passes += c.outcome.quality_pass;
       selector->ReportReward(target, c.choice, c.outcome.Passed());
 
+      if (obs != nullptr) {
+        metrics->decision_value->Observe(c.outcome.decision_value);
+        metrics->quality_p->Observe(c.outcome.quality_p_value);
+        if (c.outcome.Passed()) {
+          metrics->accepted->Increment();
+          obs->journal.Record(obs::JournalEvent("tuple.accepted")
+                                  .Set("target", FormatTarget(target))
+                                  .Set("arm", c.choice.arm));
+        } else {
+          metrics->rejected->Increment();
+          const char* reason =
+              !c.outcome.distribution_pass && !c.outcome.quality_pass
+                  ? "both"
+                  : (!c.outcome.distribution_pass ? "distribution"
+                                                  : "quality");
+          if (!c.outcome.distribution_pass && !c.outcome.quality_pass) {
+            metrics->rejected_both->Increment();
+          } else if (!c.outcome.distribution_pass) {
+            metrics->rejected_distribution->Increment();
+          } else {
+            metrics->rejected_quality->Increment();
+          }
+          obs->journal.Record(obs::JournalEvent("tuple.rejected")
+                                  .Set("target", FormatTarget(target))
+                                  .Set("arm", c.choice.arm)
+                                  .Set("reason", reason));
+        }
+      }
+
       GenerationRecord record;
       record.target_values = target;
       record.embedding = c.embedding;
@@ -167,6 +281,25 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
       ++accepted_here;
     }
   }
+
+  // Fold this entry's pool activity into the threadpool.* metrics
+  // (unstable across worker counts by nature; obs::IsStableMetric
+  // excludes the whole namespace from the determinism contract).
+  if (obs != nullptr && pool != nullptr) {
+    const util::ThreadPoolStats stats = pool->stats();
+    obs->registry.Counter("threadpool.tasks_submitted")
+        ->Increment(stats.tasks_submitted);
+    obs->registry.Counter("threadpool.parallel_for_calls")
+        ->Increment(stats.parallel_for_calls);
+    obs->registry.Counter("threadpool.chunks_executed")
+        ->Increment(stats.chunks_executed);
+    obs->registry.Gauge("threadpool.workers")
+        ->Set(static_cast<double>(pool->num_threads()));
+    obs::Gauge* depth = obs->registry.Gauge("threadpool.max_queue_depth");
+    if (static_cast<double>(stats.max_queue_depth) > depth->value()) {
+      depth->Set(static_cast<double>(stats.max_queue_depth));
+    }
+  }
   return accepted_here;
 }
 
@@ -176,6 +309,29 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   const data::AttributeSchema& schema = corpus->dataset.schema();
   model_->OnRunStart();
 
+  obs::Observability* const obs = options_.observability;
+  model_->set_observability(obs);
+  std::optional<obs::Span> run_span;
+  if (obs != nullptr) {
+    run_span.emplace(obs->tracer.StartSpan("repair.run"));
+    // Deliberately no num_threads / rejection_batch here: the journal of
+    // a fixed configuration must be byte-identical at every thread count.
+    obs->journal.Record(obs::JournalEvent("run.start")
+                            .Set("tau", options_.tau)
+                            .Set("seed", static_cast<int64_t>(options_.seed)));
+  }
+  auto journal_run_end = [&] {
+    if (obs == nullptr) return;
+    obs->registry.Gauge("run.fully_resolved")
+        ->Set(report.fully_resolved ? 1.0 : 0.0);
+    obs->registry.Gauge("run.total_cost")->Set(report.total_cost);
+    obs->journal.Record(obs::JournalEvent("run.end")
+                            .Set("queries", report.queries)
+                            .Set("accepted", report.accepted)
+                            .Set("parked", report.faults.parked_entries())
+                            .Set("fully_resolved", report.fully_resolved));
+  };
+
   // 1. Detect the minimum-level MUPs.
   auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
   if (!counter.ok()) return counter.status();
@@ -183,28 +339,48 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   coverage::MupFinderOptions mup_options;
   mup_options.tau = options_.tau;
   mup_options.num_threads = options_.num_threads;
+  mup_options.observability = obs;
   const std::vector<coverage::Mup> all_mups = finder.FindMups(mup_options);
   report.initial_mups = coverage::MupFinder::MinLevel(all_mups);
   if (report.initial_mups.empty()) {
     report.fully_resolved = true;
+    journal_run_end();
     return report;
   }
   const int target_level = report.initial_mups[0].Level();
+  if (obs != nullptr) {
+    obs->registry.Gauge("mup.min_level")
+        ->Set(static_cast<double>(target_level));
+  }
 
   // 2. Plan the augmentation.
-  switch (options_.selection) {
-    case SelectionAlgorithm::kGreedy:
-      report.plan = GreedySelect(schema, report.initial_mups);
-      break;
-    case SelectionAlgorithm::kRandom:
-      report.plan = RandomSelect(schema, all_mups, target_level, &rng);
-      break;
-    case SelectionAlgorithm::kMinGap:
-      report.plan = MinGapSelect(schema, all_mups, target_level);
-      break;
+  {
+    std::optional<obs::Span> span;
+    if (obs != nullptr) span.emplace(obs->tracer.StartSpan("plan.select"));
+    switch (options_.selection) {
+      case SelectionAlgorithm::kGreedy:
+        report.plan = GreedySelect(schema, report.initial_mups);
+        break;
+      case SelectionAlgorithm::kRandom:
+        report.plan = RandomSelect(schema, all_mups, target_level, &rng);
+        break;
+      case SelectionAlgorithm::kMinGap:
+        report.plan = MinGapSelect(schema, all_mups, target_level);
+        break;
+    }
+  }
+  if (obs != nullptr) {
+    int64_t tuples_required = 0;
+    for (const auto& entry : report.plan) tuples_required += entry.count;
+    obs->registry.Gauge("plan.entries")
+        ->Set(static_cast<double>(report.plan.size()));
+    obs->registry.Gauge("plan.tuples_required")
+        ->Set(static_cast<double>(tuples_required));
   }
 
   // 3. Calibrate p and train the distribution test on real tuples.
+  std::optional<obs::Span> train_span;
+  if (obs != nullptr) train_span.emplace(obs->tracer.StartSpan("sampler.train"));
   report.estimated_p = evaluators_->EstimateRealLabelRate(
       corpus->RealTupleRealism(), options_.p_estimation_samples, &rng);
   if (report.estimated_p <= 0.0) {
@@ -221,6 +397,10 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
                                          report.estimated_p,
                                          options_.rejection);
   if (!sampler.ok()) return sampler.status();
+  if (obs != nullptr) {
+    train_span->End();
+    obs->registry.Gauge("run.estimated_p")->Set(report.estimated_p);
+  }
 
   // 4. Fulfil the plan.
   auto selector = MakeGuideSelector(options_.guide_strategy, schema,
@@ -239,7 +419,30 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   // benches and operators can see the faults behind the numbers.
   if (const fm::FaultTelemetry* telemetry = model_->fault_telemetry()) {
     report.faults.transport = *telemetry;
+    if (obs != nullptr) {
+      obs::Registry* r = &obs->registry;
+      r->Gauge("fm.transport.attempts")
+          ->Set(static_cast<double>(telemetry->attempts));
+      r->Gauge("fm.transport.retries")
+          ->Set(static_cast<double>(telemetry->retries));
+      r->Gauge("fm.transport.faults_masked")
+          ->Set(static_cast<double>(telemetry->faults_masked));
+      r->Gauge("fm.transport.malformed_results")
+          ->Set(static_cast<double>(telemetry->malformed_results));
+      r->Gauge("fm.transport.failed_queries")
+          ->Set(static_cast<double>(telemetry->failed_queries));
+      r->Gauge("fm.transport.fail_fast_rejections")
+          ->Set(static_cast<double>(telemetry->fail_fast_rejections));
+      r->Gauge("fm.transport.breaker_opens")
+          ->Set(static_cast<double>(telemetry->breaker_opens));
+      r->Gauge("fm.transport.breaker_reopens")
+          ->Set(static_cast<double>(telemetry->breaker_reopens));
+      r->Gauge("fm.transport.breaker_closes")
+          ->Set(static_cast<double>(telemetry->breaker_closes));
+      r->Gauge("fm.transport.backoff_ms")->Set(telemetry->backoff_ms);
+    }
   }
+  journal_run_end();
   return report;
 }
 

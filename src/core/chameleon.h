@@ -16,6 +16,10 @@
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
+namespace chameleon::obs {
+struct Observability;
+}  // namespace chameleon::obs
+
 namespace chameleon::core {
 
 /// End-to-end configuration of a repair run (Figure 1's pipeline).
@@ -52,6 +56,15 @@ struct ChameleonOptions {
   /// in-order merge, so runs with different batch sizes may diverge;
   /// runs with different num_threads never do.
   int rejection_batch = 1;
+  /// Optional observability sink (metrics, spans, run journal) — see
+  /// DESIGN.md §9. Not owned; null (the default) disables instrumentation
+  /// entirely: every instrumented site guards on this pointer, so the off
+  /// state costs one predictable branch per event. All recording happens
+  /// on the serial submission/merge path, so with a fixed configuration
+  /// the journal, the spans, and every stable metric (obs::IsStableMetric)
+  /// are bit-identical at every num_threads — and attaching a sink never
+  /// changes which tuples are accepted.
+  obs::Observability* observability = nullptr;
   /// Graceful degradation: when a generation fails with a transport-level
   /// code (kUnavailable/kDeadlineExceeded/kResourceExhausted — i.e. the
   /// model's own resilience layer already gave up), park the current plan

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "src/obs/observability.h"
 #include "src/util/thread_pool.h"
 
 namespace chameleon::coverage {
@@ -30,10 +32,31 @@ MupFinder::MupFinder(const data::AttributeSchema& schema,
     : schema_(&schema), counter_(&counter) {}
 
 std::vector<Mup> MupFinder::FindMups(const MupFinderOptions& options) const {
+  obs::Observability* const obs = options.observability;
+  std::optional<obs::Span> span;
+  if (obs != nullptr) span.emplace(obs->tracer.StartSpan("mup.find"));
+
   const int num_threads = util::ThreadPool::ResolveThreadCount(
       options.num_threads);
-  if (num_threads <= 1) return FindMupsSerial(options);
-  return FindMupsParallel(options, num_threads);
+  std::vector<Mup> mups = num_threads <= 1
+                              ? FindMupsSerial(options)
+                              : FindMupsParallel(options, num_threads);
+
+  if (obs != nullptr) {
+    obs->registry.Counter("mup.found")->Increment(
+        static_cast<int64_t>(mups.size()));
+    // Unstable across worker counts by design (see MupFinderOptions);
+    // obs::IsStableMetric exempts it from the determinism contract.
+    obs->registry.Counter("mup.count_queries")->Increment(
+        last_count_queries());
+    for (const Mup& mup : mups) {
+      obs->journal.Record(obs::JournalEvent("mup.found")
+                              .Set("pattern", mup.pattern.ToString())
+                              .Set("count", mup.count)
+                              .Set("gap", mup.gap));
+    }
+  }
+  return mups;
 }
 
 std::vector<Mup> MupFinder::FindMupsSerial(

@@ -9,6 +9,10 @@
 #include "src/data/pattern.h"
 #include "src/data/schema.h"
 
+namespace chameleon::obs {
+struct Observability;
+}  // namespace chameleon::obs
+
 namespace chameleon::coverage {
 
 /// Configuration for MUP discovery.
@@ -24,6 +28,11 @@ struct MupFinderOptions {
   /// traversals (the parallel one prefetches parent counts instead of
   /// short-circuiting).
   int num_threads = 0;
+  /// Optional observability sink (not owned; null = no instrumentation).
+  /// FindMups records a `mup.find` span, the `mup.found` /
+  /// `mup.count_queries` counters, and one `mup.found` journal event per
+  /// discovered MUP.
+  obs::Observability* observability = nullptr;
 };
 
 /// One discovered Maximal Uncovered Pattern with its coverage count and

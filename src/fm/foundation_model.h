@@ -11,6 +11,10 @@
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
+namespace chameleon::obs {
+struct Observability;
+}  // namespace chameleon::obs
+
 namespace chameleon::fm {
 
 /// One query to the foundation model (§2.2): a prompt describing the
@@ -91,6 +95,12 @@ class FoundationModel {
   /// Fault-telemetry snapshot, or nullptr for models with no resilience
   /// layer. Counters are cumulative over the model's lifetime.
   virtual const FaultTelemetry* fault_telemetry() const { return nullptr; }
+
+  /// Attaches an observability sink (not owned; null detaches). The
+  /// pipeline forwards its own sink here at the start of each run, so
+  /// resilience decorators can export retry/breaker activity; plain
+  /// backends ignore it.
+  virtual void set_observability(obs::Observability* /*observability*/) {}
 
   int64_t num_queries() const {
     return num_queries_.load(std::memory_order_relaxed);

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/observability.h"
+
 namespace chameleon::fm {
 namespace {
 
@@ -41,6 +43,10 @@ void ResilientFoundationModel::OnRunStart() {
   wrapped_->OnRunStart();
 }
 
+void ResilientFoundationModel::AdvanceClock(double ms) {
+  if (observability_ != nullptr) observability_->clock.AdvanceMs(ms);
+}
+
 void ResilientFoundationModel::OnAttemptFailure() {
   if (state_ == BreakerState::kHalfOpen) {
     // The probe failed: the backend is still down. Re-open and start a
@@ -48,6 +54,11 @@ void ResilientFoundationModel::OnAttemptFailure() {
     state_ = BreakerState::kOpen;
     rejections_since_open_ = 0;
     ++telemetry_.breaker_reopens;
+    if (observability_ != nullptr) {
+      observability_->journal.Record(
+          obs::JournalEvent("fm.breaker").Set("state", "open")
+              .Set("cause", "probe_failed"));
+    }
     return;
   }
   ++consecutive_failures_;
@@ -56,6 +67,11 @@ void ResilientFoundationModel::OnAttemptFailure() {
     state_ = BreakerState::kOpen;
     rejections_since_open_ = 0;
     ++telemetry_.breaker_opens;
+    if (observability_ != nullptr) {
+      observability_->journal.Record(
+          obs::JournalEvent("fm.breaker").Set("state", "open")
+              .Set("cause", "failure_threshold"));
+    }
   }
 }
 
@@ -105,8 +121,15 @@ util::Result<GenerationResult> ResilientFoundationModel::Generate(
       backoff *= 1.0 + options_.jitter_fraction *
                            (2.0 * jitter_rng_.NextDouble() - 1.0);
       clock_ms_ += backoff;
+      AdvanceClock(backoff);
       telemetry_.backoff_ms += backoff;
       ++telemetry_.retries;
+      if (observability_ != nullptr) {
+        observability_->registry.Counter("fm.retries")->Increment();
+        observability_->journal.Record(obs::JournalEvent("fm.retry")
+                                           .Set("attempt", attempt)
+                                           .Set("backoff_ms", backoff));
+      }
       if (options_.run_deadline_ms > 0.0 &&
           clock_ms_ >= options_.run_deadline_ms) {
         ++telemetry_.failed_queries;
@@ -117,12 +140,18 @@ util::Result<GenerationResult> ResilientFoundationModel::Generate(
     }
     ++telemetry_.attempts;
     clock_ms_ += options_.attempt_cost_ms;
+    AdvanceClock(options_.attempt_cost_ms);
 
     auto result = wrapped_->Generate(request, rng);
     if (result.ok() && IsWellFormed(request, *result)) {
       if (state_ == BreakerState::kHalfOpen) {
         state_ = BreakerState::kClosed;
         ++telemetry_.breaker_closes;
+        if (observability_ != nullptr) {
+          observability_->journal.Record(
+              obs::JournalEvent("fm.breaker").Set("state", "closed")
+                  .Set("cause", "probe_succeeded"));
+        }
       }
       consecutive_failures_ = 0;
       if (attempt > 1) ++telemetry_.faults_masked;

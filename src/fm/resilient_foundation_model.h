@@ -7,6 +7,10 @@
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
+namespace chameleon::obs {
+struct Observability;
+}  // namespace chameleon::obs
+
 namespace chameleon::fm {
 
 /// Circuit-breaker state (closed = traffic flows, open = fail fast,
@@ -85,15 +89,30 @@ class ResilientFoundationModel : public FoundationModel {
   /// Virtual milliseconds elapsed in the current run.
   double run_clock_ms() const { return clock_ms_; }
 
+  /// Attaches an observability sink (not owned; null detaches). When set,
+  /// every clock_ms_ advance is mirrored into the shared VirtualClock's
+  /// millisecond axis (so spans correlate with retry storms), retries feed
+  /// the `fm.retries` counter, and each retry/breaker transition is
+  /// journaled. All of it is driven from the serial Generate path, so the
+  /// journal stays deterministic.
+  void set_observability(obs::Observability* observability) override {
+    observability_ = observability;
+  }
+
  private:
   /// Retryable-failure bookkeeping shared by every fault path: advances
   /// the consecutive-failure count and trips the breaker at threshold.
   void OnAttemptFailure();
 
+  /// Mirrors a clock_ms_ advance into the attached observability clock
+  /// (no-op when detached).
+  void AdvanceClock(double ms);
+
   FoundationModel* wrapped_;
   ResilienceOptions options_;
   util::Rng jitter_rng_;
   FaultTelemetry telemetry_;
+  obs::Observability* observability_ = nullptr;
 
   BreakerState state_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;

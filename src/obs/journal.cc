@@ -1,0 +1,117 @@
+#include "src/obs/journal.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/metrics.h"
+
+namespace chameleon::obs {
+
+JournalEvent& JournalEvent::Set(const std::string& key,
+                                const std::string& value) {
+  std::string rendered = "\"";
+  rendered += JsonEscape(value);
+  rendered += "\"";
+  fields_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, double value) {
+  fields_.emplace_back(key, FormatMetricValue(value));
+  return *this;
+}
+
+JournalEvent& JournalEvent::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JournalEvent::ToJson(uint64_t tick) const {
+  std::string out = "{\"type\":\"" + JsonEscape(type_) +
+                    "\",\"tick\":" + std::to_string(tick);
+  for (const auto& [key, value] : fields_) {
+    out += ",\"" + JsonEscape(key) + "\":" + value;
+  }
+  out += "}";
+  return out;
+}
+
+void Journal::Record(const JournalEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(event.ToJson(clock_->Tick()));
+}
+
+size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+std::vector<std::string> Journal::Lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+std::string Journal::ToJsonl() const {
+  std::string out;
+  for (const std::string& line : Lines()) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+util::Status Journal::Write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::IoError("cannot open journal file: " + path);
+  }
+  out << ToJsonl();
+  out.close();
+  if (!out) return util::Status::IoError("failed writing journal: " + path);
+  return util::Status::Ok();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace chameleon::obs

@@ -1,0 +1,81 @@
+#ifndef CHAMELEON_OBS_JOURNAL_H_
+#define CHAMELEON_OBS_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/virtual_clock.h"
+#include "src/util/status.h"
+
+namespace chameleon::obs {
+
+/// One structured journal event: a type plus ordered key/value fields,
+/// rendered as a single JSON object line. Values are rendered at Set
+/// time, so an event is a cheap flat string list.
+class JournalEvent {
+ public:
+  explicit JournalEvent(std::string type) : type_(std::move(type)) {}
+
+  JournalEvent& Set(const std::string& key, const std::string& value);
+  JournalEvent& Set(const std::string& key, const char* value);
+  JournalEvent& Set(const std::string& key, int64_t value);
+  JournalEvent& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JournalEvent& Set(const std::string& key, size_t value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JournalEvent& Set(const std::string& key, double value);
+  JournalEvent& Set(const std::string& key, bool value);
+
+  const std::string& type() const { return type_; }
+
+  /// `{"type":"...","tick":N, ...fields}` — field order = Set order.
+  std::string ToJson(uint64_t tick) const;
+
+ private:
+  std::string type_;
+  // (key, pre-rendered JSON value) in insertion order.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Append-only structured run journal (JSONL sink). Each Record stamps
+/// the event with the shared VirtualClock's next tick — the same
+/// sequence the Tracer draws span ticks from, so journal lines and
+/// spans interleave on one deterministic timeline. Thread-safe; the
+/// pipeline records from its serial sections only, which is what makes
+/// the journal bit-identical at every thread count.
+class Journal {
+ public:
+  explicit Journal(VirtualClock* clock) : clock_(clock) {}
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  void Record(const JournalEvent& event);
+
+  size_t size() const;
+
+  /// Serialized event lines, in record order (no trailing newline).
+  std::vector<std::string> Lines() const;
+
+  /// All lines joined with '\n' (newline-terminated when non-empty).
+  std::string ToJsonl() const;
+
+  /// Writes ToJsonl() to `path`.
+  [[nodiscard]] util::Status Write(const std::string& path) const;
+
+ private:
+  VirtualClock* clock_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_JOURNAL_H_

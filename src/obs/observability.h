@@ -1,0 +1,31 @@
+#ifndef CHAMELEON_OBS_OBSERVABILITY_H_
+#define CHAMELEON_OBS_OBSERVABILITY_H_
+
+#include "src/obs/journal.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/virtual_clock.h"
+
+namespace chameleon::obs {
+
+/// Everything a run records, bundled around one shared VirtualClock so
+/// metrics, spans and journal lines live on a single deterministic
+/// timeline. Owned by the caller (typically stack or CLI scope) and
+/// attached to the pipeline via `ChameleonOptions::observability`;
+/// leaving that pointer null disables instrumentation entirely — every
+/// instrumented site guards with `if (obs != nullptr)`, so the off
+/// state costs one predictable branch.
+struct Observability {
+  Observability() = default;
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  VirtualClock clock;
+  Registry registry;
+  Tracer tracer{&clock};
+  Journal journal{&clock};
+};
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_OBSERVABILITY_H_

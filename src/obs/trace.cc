@@ -1,0 +1,83 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/obs/metrics.h"
+
+namespace chameleon::obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  tracer_->EndSpan(id_);
+  tracer_ = nullptr;
+}
+
+Span Tracer::StartSpan(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord record;
+  record.id = static_cast<int64_t>(spans_.size()) + 1;
+  record.parent_id = stack_.empty() ? 0 : stack_.back();
+  record.depth = static_cast<int>(stack_.size());
+  record.name = name;
+  record.start_tick = clock_->Tick();
+  record.start_ms = clock_->NowMs();
+  stack_.push_back(record.id);
+  spans_.push_back(std::move(record));
+  return Span(this, spans_.back().id);
+}
+
+void Tracer::EndSpan(int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 1 || id > static_cast<int64_t>(spans_.size())) return;
+  SpanRecord& record = spans_[id - 1];
+  if (record.end_tick != 0) return;  // already ended
+  record.end_tick = clock_->Tick();
+  record.end_ms = clock_->NowMs();
+  stack_.erase(std::remove(stack_.begin(), stack_.end(), id), stack_.end());
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t Tracer::num_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stack_.size();
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  for (const SpanRecord& span : Spans()) {
+    out += "{\"id\":" + std::to_string(span.id) +
+           ",\"parent\":" + std::to_string(span.parent_id) +
+           ",\"depth\":" + std::to_string(span.depth) + ",\"name\":\"" +
+           span.name + "\",\"start_tick\":" + std::to_string(span.start_tick) +
+           ",\"end_tick\":" + std::to_string(span.end_tick) +
+           ",\"start_ms\":" + FormatMetricValue(span.start_ms) +
+           ",\"end_ms\":" + FormatMetricValue(span.end_ms) + "}\n";
+  }
+  return out;
+}
+
+util::Status Tracer::Write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open trace file: " + path);
+  out << ToJsonl();
+  out.close();
+  if (!out) return util::Status::IoError("failed writing trace: " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace chameleon::obs

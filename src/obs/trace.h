@@ -1,0 +1,96 @@
+#ifndef CHAMELEON_OBS_TRACE_H_
+#define CHAMELEON_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/virtual_clock.h"
+#include "src/util/status.h"
+
+namespace chameleon::obs {
+
+class Tracer;
+
+/// One completed (or still-open) span. `start_tick`/`end_tick` come from
+/// the shared VirtualClock event counter, and `start_ms`/`end_ms` from
+/// its virtual-millisecond axis — never from a wall clock, so traces of
+/// the same seeded run are bit-identical at every thread count.
+struct SpanRecord {
+  int64_t id = 0;         // 1-based, in start order
+  int64_t parent_id = 0;  // 0 = root span
+  int depth = 0;          // root = 0
+  std::string name;
+  uint64_t start_tick = 0;
+  uint64_t end_tick = 0;  // 0 while the span is open
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+/// RAII handle returned by Tracer::StartSpan: ends the span on
+/// destruction (or at an explicit End()). Movable, not copyable.
+/// Discarding the returned Span ends it immediately — chameleon-lint
+/// flags a discarded StartSpan call for exactly that reason.
+class [[nodiscard]] Span {
+ public:
+  Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Ends the span (idempotent; a moved-from Span is a no-op).
+  void End();
+
+  int64_t id() const { return id_; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, int64_t id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_;
+  int64_t id_;
+};
+
+/// Records a tree of named spans over the virtual clock. Parentage is
+/// the innermost span still open at StartSpan time, which matches the
+/// pipeline's usage: spans open and close on the serial
+/// submission/merge path only, so nesting, order and tick stamps are
+/// deterministic. Thread-safe (one mutex around the span table) so a
+/// stray span from a worker cannot corrupt the trace — but such spans
+/// are not part of the determinism contract.
+class Tracer {
+ public:
+  explicit Tracer(VirtualClock* clock) : clock_(clock) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  Span StartSpan(const std::string& name);
+
+  /// All spans in start order (open spans have end_tick == 0).
+  std::vector<SpanRecord> Spans() const;
+
+  size_t num_open() const;
+
+  /// One JSON object per span, one per line (JSONL), in start order.
+  std::string ToJsonl() const;
+
+  /// Writes ToJsonl() to `path`.
+  [[nodiscard]] util::Status Write(const std::string& path) const;
+
+ private:
+  friend class Span;
+  void EndSpan(int64_t id);
+
+  VirtualClock* clock_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;  // index = id - 1
+  std::vector<int64_t> stack_;     // ids of open spans, outermost first
+};
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_TRACE_H_

@@ -1,0 +1,50 @@
+#ifndef CHAMELEON_OBS_VIRTUAL_CLOCK_H_
+#define CHAMELEON_OBS_VIRTUAL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace chameleon::obs {
+
+/// Deterministic time source for the observability layer. Two notions of
+/// "time" advance independently, neither of which ever reads a wall
+/// clock (the chameleon-determinism rule holds by construction):
+///
+///  * ticks — a monotonic event counter. Every span start/end and every
+///    journal event draws one tick, so "when" something happened is its
+///    position in the pipeline's serial event order. Because all
+///    instrumented events fire on the serial submission/merge path,
+///    tick-stamped traces are bit-identical at every thread count.
+///  * virtual milliseconds — the same virtual-time axis the resilience
+///    layer budgets backoff and deadlines on
+///    (fm::ResilientFoundationModel advances it when observability is
+///    attached), so spans can be correlated with retry storms.
+///
+/// Thread-safe: both counters are atomics; concurrent Tick()s are
+/// allowed (they simply serialize), though the pipeline only ticks from
+/// its serial sections.
+class VirtualClock {
+ public:
+  /// Advances and returns the event counter (first call returns 1).
+  uint64_t Tick() { return ticks_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  /// Advances the virtual-millisecond axis (e.g. resilience backoff).
+  void AdvanceMs(double ms) {
+    double current = ms_.load(std::memory_order_relaxed);
+    while (!ms_.compare_exchange_weak(current, current + ms,
+                                      std::memory_order_relaxed)) {
+    }
+  }
+
+  double NowMs() const { return ms_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<double> ms_{0.0};
+};
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_VIRTUAL_CLOCK_H_

@@ -38,9 +38,24 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(packaged));
+    ++tasks_submitted_;
+    max_queue_depth_ = std::max<int64_t>(max_queue_depth_,
+                                         static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
   return future;
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.tasks_submitted = tasks_submitted_;
+    stats.max_queue_depth = max_queue_depth_;
+  }
+  stats.parallel_for_calls = parallel_for_calls_.load(std::memory_order_relaxed);
+  stats.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -63,6 +78,8 @@ void ThreadPool::ParallelFor(
   if (total <= 0) return;
   if (grain < 1) grain = 1;
   const int64_t num_chunks = (total + grain - 1) / grain;
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
+  chunks_executed_.fetch_add(num_chunks, std::memory_order_relaxed);
   auto run_chunk = [&](int64_t chunk) {
     const int64_t begin = chunk * grain;
     const int64_t end = std::min(total, begin + grain);

@@ -1,6 +1,7 @@
 #ifndef CHAMELEON_UTIL_THREAD_POOL_H_
 #define CHAMELEON_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,17 @@
 #include "src/util/rng.h"
 
 namespace chameleon::util {
+
+/// Cumulative execution counters for one pool, snapshotted by stats().
+/// Everything here is load/schedule-sensitive diagnostics — callers
+/// exporting these as metrics must treat them as unstable across worker
+/// counts (obs::IsStableMetric excludes the `threadpool.` namespace).
+struct ThreadPoolStats {
+  int64_t tasks_submitted = 0;     ///< Submit() calls
+  int64_t parallel_for_calls = 0;  ///< ParallelFor[Seeded] invocations
+  int64_t chunks_executed = 0;     ///< chunks across all ParallelFors
+  int64_t max_queue_depth = 0;     ///< peak pending tasks in the queue
+};
 
 /// Fixed-size worker pool shared by the parallel pipeline stages (MUP
 /// frontier counting, OCSVM Gram construction and batch scoring, the
@@ -45,6 +57,9 @@ class ThreadPool {
   /// Enqueues one task; the future resolves when it has run.
   std::future<void> Submit(std::function<void()> task);
 
+  /// Snapshot of the cumulative execution counters (thread-safe).
+  ThreadPoolStats stats() const;
+
   /// Invokes body(begin, end, chunk) for every chunk [begin, end) of
   /// [0, total) with the given grain. At most num_threads() chunks run
   /// concurrently (the calling thread participates); returns once all
@@ -68,9 +83,17 @@ class ThreadPool {
   int num_threads_;
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Execution counters. The queue-side pair piggybacks on mutex_ (it is
+  // already held where they change); the ParallelFor pair is atomic so
+  // stats() never contends with a running loop.
+  int64_t tasks_submitted_ = 0;   // guarded by mutex_
+  int64_t max_queue_depth_ = 0;   // guarded by mutex_
+  std::atomic<int64_t> parallel_for_calls_{0};
+  std::atomic<int64_t> chunks_executed_{0};
 };
 
 }  // namespace chameleon::util

@@ -234,6 +234,63 @@ void Caller(Legacy* legacy) {
   EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
 }
 
+TEST(StatusDisciplineTest, SeededObsMustUseApisAreFlagged) {
+  // The observability layer's handle-returning surface (Tracer::StartSpan,
+  // Registry::Counter/Gauge/Histogram) is seeded as must-use: discarding
+  // the handle is a bug even though the return type is not Status/Result
+  // (a discarded Span ends immediately, a discarded instrument pointer
+  // records nothing). The journal/registry/tracer `Write` export rides
+  // the regular Status seed.
+  const std::string source = R"(
+void Instrument(obs::Observability* observability) {
+  observability->tracer.StartSpan("rejection.batch");
+  observability->registry.Counter("fm.queries");
+  observability->journal.Write("/tmp/journal.jsonl");
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 3);
+  EXPECT_TRUE(registry.IsMustUse("StartSpan"));
+  EXPECT_TRUE(registry.IsMustUse("Gauge"));
+  EXPECT_TRUE(registry.IsMustUse("Histogram"));
+  EXPECT_FALSE(registry.IsMustUse("Increment"));
+}
+
+TEST(StatusDisciplineTest, BoundObsHandlesAreClean) {
+  // The idiomatic uses — binding the Span, chaining the instrument into
+  // its recording call, checking the export Status — produce no findings.
+  const std::string source = R"(
+util::Status Instrument(obs::Observability* observability) {
+  obs::Span span = observability->tracer.StartSpan("mup.find");
+  observability->registry.Counter("fm.queries")->Increment();
+  return observability->journal.Write("/tmp/journal.jsonl");
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
+TEST(StatusDisciplineTest, NolintSuppressesMustUseFindings) {
+  const std::string source =
+      "void Instrument(obs::Tracer* tracer) {\n"
+      "  tracer->StartSpan(\"x\");  // NOLINT(chameleon-status-discipline)\n"
+      "}\n";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
 TEST(StatusDisciplineTest, DisableFlagTurnsRuleOff) {
   LintOptions options;
   options.disabled.insert("status-discipline");

@@ -10,6 +10,7 @@
 #include "src/embedding/simulated_embedder.h"
 #include "src/fm/evaluator_pool.h"
 #include "src/fm/simulated_foundation_model.h"
+#include "src/obs/observability.h"
 
 namespace chameleon::core {
 namespace {
@@ -260,6 +261,55 @@ TEST(ChameleonDeterminismTest, BatchOfOneIsTheLegacySerialLoop) {
   ExpectReportsBitIdentical(legacy, threaded);
   EXPECT_EQ(legacy_synthetic, threaded_synthetic);
   EXPECT_GT(legacy.accepted, 0);
+}
+
+TEST(ChameleonInstrumentationContractTest, MetricIdentitiesHoldAtEveryThreadCount) {
+  // The instrumentation contract ties the obs registry to ground truth
+  // the pipeline already exposes: the fm.queries counter must equal the
+  // model's own query count, and every non-parked query must receive
+  // exactly one accept/reject verdict. These identities must hold at
+  // every thread count — instrumentation fires on the serial
+  // submission/merge path, never inside workers.
+  for (int threads : {1, 2, 8}) {
+    embedding::SimulatedEmbedder embedder;
+    fm::EvaluatorPool evaluators(2024);
+    fm::Corpus corpus =
+        *datasets::MakeFeret(&embedder, datasets::FeretOptions());
+    fm::SimulatedFoundationModel model(corpus.dataset.schema(),
+                                       datasets::FeretFaceStyleFn(),
+                                       datasets::FeretScene(),
+                                       fm::SimulatedFoundationModel::Options());
+    obs::Observability observability;
+    ChameleonOptions options;
+    options.tau = 40;
+    options.seed = 11;
+    options.num_threads = threads;
+    options.rejection_batch = 4;
+    options.observability = &observability;
+    Chameleon system(&model, &embedder, &evaluators, options);
+    auto report = system.RepairMinLevelMups(&corpus);
+    ASSERT_TRUE(report.ok());
+
+    obs::Registry& registry = observability.registry;
+    const int64_t fm_queries = registry.Counter("fm.queries")->value();
+    const int64_t fm_parked = registry.Counter("fm.parked")->value();
+    const int64_t accepted = registry.Counter("rejection.accepted")->value();
+    const int64_t rejected = registry.Counter("rejection.rejected")->value();
+
+    EXPECT_EQ(fm_queries, model.num_queries()) << threads << " threads";
+    EXPECT_EQ(accepted + rejected, fm_queries - fm_parked)
+        << threads << " threads";
+    EXPECT_EQ(report->queries, fm_queries - fm_parked) << threads << " threads";
+    EXPECT_EQ(report->accepted, accepted) << threads << " threads";
+    EXPECT_EQ(fm_parked, 0) << "healthy model must park nothing";
+    EXPECT_GT(accepted, 0);
+
+    // The decision-value histogram sees exactly the evaluated candidates.
+    EXPECT_EQ(
+        registry.Histogram("rejection.decision_value", {})->count(),
+        fm_queries - fm_parked)
+        << threads << " threads";
+  }
 }
 
 TEST_F(ChameleonFeretTest, IterativeRepairWorksDownTheLattice) {

@@ -126,6 +126,36 @@ TEST(NiqeTest, DistortedImagesScoreWorse) {
   EXPECT_GT(noisy_total, clean_total);
 }
 
+TEST(NiqeTest, BlurredImagesScoreWorse) {
+  // Gaussian blur wipes out the high-frequency MSCN structure that the
+  // natural-scene model is fit to; a known-degraded image must score
+  // farther from the pristine model than its clean original.
+  auto niqe = Niqe::Train(MakeCorpus(12, 100));
+  ASSERT_TRUE(niqe.ok());
+  double clean_total = 0.0;
+  double blurred_total = 0.0;
+  for (uint64_t seed = 250; seed < 256; ++seed) {
+    const image::Image face = MakeFace(seed);
+    clean_total += niqe->Score(face);
+    blurred_total += niqe->Score(image::GaussianBlur(face, 2.5));
+  }
+  EXPECT_GT(blurred_total, clean_total);
+}
+
+TEST(NiqeTest, BandedImagesScoreWorse) {
+  auto niqe = Niqe::Train(MakeCorpus(12, 100));
+  ASSERT_TRUE(niqe.ok());
+  double clean_total = 0.0;
+  double banded_total = 0.0;
+  for (uint64_t seed = 260; seed < 266; ++seed) {
+    clean_total += niqe->Score(MakeFace(seed));
+    image::Image banded = MakeFace(seed);
+    image::AddBanding(&banded, 4, 60.0);
+    banded_total += niqe->Score(banded);
+  }
+  EXPECT_GT(banded_total, clean_total);
+}
+
 TEST(BrisqueTest, FeatureDimensionIs36) {
   EXPECT_EQ(BrisqueFeatures(MakeFace(7)).size(), 36u);
 }
@@ -144,6 +174,44 @@ TEST(BrisqueTest, DistortedImagesScoreWorse) {
     noisy_total += brisque->Score(corrupted);
   }
   EXPECT_GT(noisy_total, clean_total);
+}
+
+TEST(BrisqueTest, BlurredImagesScoreWorse) {
+  auto brisque = Brisque::Train(MakeCorpus(12, 300));
+  ASSERT_TRUE(brisque.ok());
+  double clean_total = 0.0;
+  double blurred_total = 0.0;
+  for (uint64_t seed = 450; seed < 456; ++seed) {
+    const image::Image face = MakeFace(seed);
+    clean_total += brisque->Score(face);
+    blurred_total += brisque->Score(image::GaussianBlur(face, 2.5));
+  }
+  EXPECT_GT(blurred_total, clean_total);
+}
+
+TEST(BrisqueTest, ScoreIsMonotoneInNoiseLevel) {
+  // A usable no-reference metric must order degradation levels, not just
+  // separate clean from corrupted: heavier noise ⇒ worse (higher) score.
+  auto brisque = Brisque::Train(MakeCorpus(12, 300));
+  ASSERT_TRUE(brisque.ok());
+  double previous_total = 0.0;
+  bool first = true;
+  for (double stddev : {0.0, 15.0, 45.0}) {
+    double total = 0.0;
+    for (uint64_t seed = 470; seed < 476; ++seed) {
+      image::Image face = MakeFace(seed);
+      if (stddev > 0.0) {
+        util::Rng rng(seed);
+        image::AddGaussianNoise(&face, stddev, &rng);
+      }
+      total += brisque->Score(face);
+    }
+    if (!first) {
+      EXPECT_GT(total, previous_total) << "stddev " << stddev;
+    }
+    previous_total = total;
+    first = false;
+  }
 }
 
 TEST(BrisqueTest, NaturalImagesScoreNearZero) {

@@ -171,6 +171,69 @@ TEST(MetricsTest, F1IsZeroWhenNoPredictions) {
   EXPECT_DOUBLE_EQ(report.class_metrics(1).Precision(), 0.0);
 }
 
+TEST(MetricsTest, FiveGroupHandComputedReport) {
+  // A Table-3-shaped scenario: five intersectional groups with shrinking
+  // support, the smallest of which the classifier misses entirely — the
+  // exact situation Chameleon's augmentation targets. Every per-group
+  // number below is hand-computed from the confusion matrix.
+  //
+  //            predicted
+  //  gold      0  1  2  3  4   support
+  //    0       5  1  0  0  0      6
+  //    1       0  4  1  0  0      5
+  //    2       1  0  3  0  0      4
+  //    3       0  0  0  2  1      3
+  //    4       2  0  0  0  0      2   <- minority group, fully missed
+  std::vector<int> gold, predicted;
+  auto add = [&](int g, int p, int n) {
+    for (int i = 0; i < n; ++i) {
+      gold.push_back(g);
+      predicted.push_back(p);
+    }
+  };
+  add(0, 0, 5); add(0, 1, 1);
+  add(1, 1, 4); add(1, 2, 1);
+  add(2, 0, 1); add(2, 2, 3);
+  add(3, 3, 2); add(3, 4, 1);
+  add(4, 0, 2);
+  ClassificationReport report(gold, predicted, 5);
+
+  const double precision[] = {5.0 / 8.0, 4.0 / 5.0, 3.0 / 4.0, 1.0, 0.0};
+  const double recall[] = {5.0 / 6.0, 4.0 / 5.0, 3.0 / 4.0, 2.0 / 3.0, 0.0};
+  const double f1[] = {5.0 / 7.0, 4.0 / 5.0, 3.0 / 4.0, 4.0 / 5.0, 0.0};
+  const int64_t support[] = {6, 5, 4, 3, 2};
+  for (int c = 0; c < 5; ++c) {
+    const ClassMetrics& group = report.class_metrics(c);
+    EXPECT_EQ(group.support, support[c]) << "group " << c;
+    EXPECT_DOUBLE_EQ(group.Precision(), precision[c]) << "group " << c;
+    EXPECT_DOUBLE_EQ(group.Recall(), recall[c]) << "group " << c;
+    EXPECT_DOUBLE_EQ(group.F1(), f1[c]) << "group " << c;
+  }
+
+  EXPECT_DOUBLE_EQ(report.Accuracy(), 14.0 / 20.0);
+  EXPECT_DOUBLE_EQ(report.MacroPrecision(),
+                   (5.0 / 8.0 + 4.0 / 5.0 + 3.0 / 4.0 + 1.0 + 0.0) / 5.0);
+  EXPECT_DOUBLE_EQ(
+      report.MacroRecall(),
+      (5.0 / 6.0 + 4.0 / 5.0 + 3.0 / 4.0 + 2.0 / 3.0 + 0.0) / 5.0);
+  EXPECT_DOUBLE_EQ(report.MacroF1(),
+                   (5.0 / 7.0 + 4.0 / 5.0 + 3.0 / 4.0 + 4.0 / 5.0 + 0.0) / 5.0);
+  EXPECT_DOUBLE_EQ(report.WeightedF1(),
+                   (6 * (5.0 / 7.0) + 5 * (4.0 / 5.0) + 4 * (3.0 / 4.0) +
+                    3 * (4.0 / 5.0) + 2 * 0.0) /
+                       20.0);
+  // Weighted recall equals accuracy when every example gets a prediction.
+  EXPECT_DOUBLE_EQ(report.WeightedRecall(), report.Accuracy());
+
+  // p-Disparity per group against the overall accuracy (the paper's
+  // Figure-4 view): majority groups sit at zero, the missed minority at 1.
+  const double overall = report.Accuracy();
+  EXPECT_DOUBLE_EQ(Disparity(report.class_metrics(0).Recall(), overall), 0.0);
+  EXPECT_DOUBLE_EQ(Disparity(report.class_metrics(4).Recall(), overall), 1.0);
+  EXPECT_NEAR(Disparity(report.class_metrics(3).Recall(), overall),
+              1.0 - (2.0 / 3.0) / 0.7, 1e-12);
+}
+
 TEST(DisparityTest, MatchesPaperFormula) {
   // p-Disparity(g) = max(0, 1 - rho_g / rho_all).
   EXPECT_NEAR(Disparity(0.16, 0.78), 1.0 - 0.16 / 0.78, 1e-12);

@@ -1,0 +1,495 @@
+// Tests for the observability layer (src/obs): registry semantics,
+// span nesting on the virtual clock, the JSONL run journal, and the
+// pipeline-level determinism contract — an instrumented repair run
+// produces byte-identical journals/traces and identical stable metrics
+// at every thread count, and never changes which tuples are accepted.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/chameleon.h"
+#include "src/datasets/feret.h"
+#include "src/embedding/simulated_embedder.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/obs/observability.h"
+
+namespace chameleon::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VirtualClock
+// ---------------------------------------------------------------------------
+
+TEST(VirtualClockTest, TicksAreMonotonicFromOne) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.ticks(), 0u);
+  EXPECT_EQ(clock.Tick(), 1u);
+  EXPECT_EQ(clock.Tick(), 2u);
+  EXPECT_EQ(clock.ticks(), 2u);
+}
+
+TEST(VirtualClockTest, MillisecondAxisAccumulates) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 0.0);
+  clock.AdvanceMs(12.5);
+  clock.AdvanceMs(7.5);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Histogram
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, IsMonotonic) {
+  Counter counter;
+  counter.Increment();
+  counter.Increment(5);
+  counter.Increment(-3);  // ignored: counters only go up
+  counter.Increment(0);
+  EXPECT_EQ(counter.value(), 6);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  gauge.Add(1.5);
+  gauge.Add(-2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveUpperBounds) {
+  Histogram histogram({1.0, 2.0, 5.0});
+  // One observation per interesting position: below, exactly on each
+  // bound (inclusive), between bounds, and past the last bound.
+  for (double v : {0.5, 1.0, 1.5, 2.0, 5.0, 7.0}) histogram.Observe(v);
+  EXPECT_EQ(histogram.count(), 6);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 17.0);
+  const std::vector<int64_t> buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(buckets[0], 2);      // 0.5, 1.0  (v <= 1)
+  EXPECT_EQ(buckets[1], 2);      // 1.5, 2.0  (1 < v <= 2)
+  EXPECT_EQ(buckets[2], 1);      // 5.0       (2 < v <= 5)
+  EXPECT_EQ(buckets[3], 1);      // 7.0       (v > 5)
+}
+
+TEST(HistogramTest, ConcurrentObservationsLoseNothing) {
+  Histogram histogram({10.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Observe(1.0);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  // Sums of 1.0 stay exact in a double well past 80k observations, so
+  // the CAS-accumulated sum must equal the count exactly.
+  EXPECT_DOUBLE_EQ(histogram.sum(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.BucketCounts()[0], kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, RegistrationIsIdempotentWithStablePointers) {
+  Registry registry;
+  obs::Counter* counter = registry.Counter("fm.queries");
+  counter->Increment(3);
+  EXPECT_EQ(registry.Counter("fm.queries"), counter);
+  EXPECT_EQ(registry.Counter("fm.queries")->value(), 3);
+  obs::Histogram* histogram = registry.Histogram("h", {1.0, 2.0});
+  // A later registration with different bounds returns the original.
+  EXPECT_EQ(registry.Histogram("h", {9.0}), histogram);
+  EXPECT_EQ(histogram->bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.Gauge("zeta")->Set(1.0);
+  registry.Counter("alpha")->Increment();
+  registry.Histogram("mid", {1.0})->Observe(0.5);
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[0].type, "counter");
+  EXPECT_EQ(samples[1].name, "mid");
+  EXPECT_EQ(samples[1].type, "histogram");
+  EXPECT_EQ(samples[2].name, "zeta");
+  EXPECT_EQ(samples[2].type, "gauge");
+}
+
+TEST(RegistryTest, ToJsonEmitsOneObjectPerLine) {
+  Registry registry;
+  registry.Counter("fm.queries")->Increment(47);
+  registry.Histogram("lat", {1.0, 2.0})->Observe(1.5);
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json,
+            "{\"name\":\"fm.queries\",\"type\":\"counter\",\"value\":47}\n"
+            "{\"name\":\"lat\",\"type\":\"histogram\",\"value\":1,"
+            "\"sum\":1.5,\"bounds\":[1,2],\"buckets\":[0,1,0]}\n");
+}
+
+TEST(RegistryTest, ToTableRendersEveryMetric) {
+  Registry registry;
+  registry.Counter("fm.queries")->Increment(47);
+  registry.Gauge("run.estimated_p")->Set(0.82);
+  const std::string table = registry.ToTable().ToString();
+  EXPECT_NE(table.find("fm.queries"), std::string::npos);
+  EXPECT_NE(table.find("47"), std::string::npos);
+  EXPECT_NE(table.find("run.estimated_p"), std::string::npos);
+  EXPECT_NE(table.find("0.82"), std::string::npos);
+}
+
+TEST(RegistryTest, WriteExportsJsonlToDisk) {
+  Registry registry;
+  registry.Counter("fm.queries")->Increment(2);
+  const std::string path = ::testing::TempDir() + "obs_registry_test.jsonl";
+  ASSERT_TRUE(registry.Write(path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), registry.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(RegistryTest, WriteToUnwritablePathFails) {
+  Registry registry;
+  EXPECT_FALSE(registry.Write("/nonexistent-dir/metrics.jsonl").ok());
+}
+
+TEST(StableMetricTest, ExemptsScheduleDependentNames) {
+  EXPECT_TRUE(IsStableMetric("fm.queries"));
+  EXPECT_TRUE(IsStableMetric("rejection.accepted"));
+  EXPECT_TRUE(IsStableMetric("mup.found"));
+  EXPECT_FALSE(IsStableMetric("mup.count_queries"));
+  EXPECT_FALSE(IsStableMetric("threadpool.tasks_submitted"));
+  EXPECT_FALSE(IsStableMetric("threadpool.max_queue_depth"));
+}
+
+TEST(FormatMetricValueTest, RoundTrips) {
+  for (double v : {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e-17, 123456789.125}) {
+    EXPECT_EQ(std::strtod(FormatMetricValue(v).c_str(), nullptr), v);
+  }
+  EXPECT_EQ(FormatMetricValue(47.0), "47");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer / Span
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, NestingFollowsInnermostOpenSpan) {
+  VirtualClock clock;
+  Tracer tracer(&clock);
+  {
+    Span run = tracer.StartSpan("repair.run");
+    {
+      Span find = tracer.StartSpan("mup.find");
+    }
+    {
+      Span entry = tracer.StartSpan("plan.entry");
+      Span batch = tracer.StartSpan("rejection.batch");
+    }
+  }
+  EXPECT_EQ(tracer.num_open(), 0u);
+  const std::vector<SpanRecord> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  EXPECT_EQ(spans[0].name, "repair.run");
+  EXPECT_EQ(spans[0].parent_id, 0);
+  EXPECT_EQ(spans[0].depth, 0);
+
+  EXPECT_EQ(spans[1].name, "mup.find");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[1].depth, 1);
+
+  EXPECT_EQ(spans[2].name, "plan.entry");
+  EXPECT_EQ(spans[2].parent_id, spans[0].id);
+
+  EXPECT_EQ(spans[3].name, "rejection.batch");
+  EXPECT_EQ(spans[3].parent_id, spans[2].id);
+  EXPECT_EQ(spans[3].depth, 2);
+
+  // Tick stamps reflect the serial open/close order: a child opens after
+  // its parent and (RAII) closes before it.
+  for (const SpanRecord& span : spans) {
+    EXPECT_GT(span.end_tick, span.start_tick);
+  }
+  EXPECT_GT(spans[3].start_tick, spans[2].start_tick);
+  EXPECT_LT(spans[3].end_tick, spans[2].end_tick);
+  EXPECT_EQ(spans[0].end_tick, clock.ticks());
+}
+
+TEST(TracerTest, EndIsIdempotentAndMoveSafe) {
+  VirtualClock clock;
+  Tracer tracer(&clock);
+  Span span = tracer.StartSpan("a");
+  span.End();
+  const uint64_t end_tick = tracer.Spans()[0].end_tick;
+  span.End();  // no-op
+  EXPECT_EQ(tracer.Spans()[0].end_tick, end_tick);
+
+  Span outer = tracer.StartSpan("b");
+  Span moved = std::move(outer);
+  outer.End();  // moved-from: no-op
+  EXPECT_EQ(tracer.num_open(), 1u);
+  moved.End();
+  EXPECT_EQ(tracer.num_open(), 0u);
+}
+
+TEST(TracerTest, IdenticalEventSequencesProduceIdenticalJsonl) {
+  auto run = [] {
+    VirtualClock clock;
+    Tracer tracer(&clock);
+    Span run_span = tracer.StartSpan("repair.run");
+    for (int i = 0; i < 3; ++i) {
+      Span batch = tracer.StartSpan("rejection.batch");
+      clock.AdvanceMs(10.0);
+    }
+    run_span.End();
+    return tracer.ToJsonl();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+TEST(JournalTest, GoldenJsonl) {
+  VirtualClock clock;
+  Journal journal(&clock);
+  journal.Record(JournalEvent("run.start").Set("tau", 30).Set("seed", 99));
+  journal.Record(JournalEvent("mup.found")
+                     .Set("pattern", "X3")
+                     .Set("count", 19)
+                     .Set("gap", 11));
+  journal.Record(JournalEvent("tuple.rejected")
+                     .Set("target", "0,3")
+                     .Set("arm", 1)
+                     .Set("reason", "distribution"));
+  journal.Record(JournalEvent("run.end")
+                     .Set("queries", 47)
+                     .Set("accepted", 31)
+                     .Set("fully_resolved", true)
+                     .Set("cost", 0.75));
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.ToJsonl(),
+            "{\"type\":\"run.start\",\"tick\":1,\"tau\":30,\"seed\":99}\n"
+            "{\"type\":\"mup.found\",\"tick\":2,\"pattern\":\"X3\","
+            "\"count\":19,\"gap\":11}\n"
+            "{\"type\":\"tuple.rejected\",\"tick\":3,\"target\":\"0,3\","
+            "\"arm\":1,\"reason\":\"distribution\"}\n"
+            "{\"type\":\"run.end\",\"tick\":4,\"queries\":47,"
+            "\"accepted\":31,\"fully_resolved\":true,\"cost\":0.75}\n");
+}
+
+TEST(JournalTest, SharesTickAxisWithTracer) {
+  VirtualClock clock;
+  Tracer tracer(&clock);
+  Journal journal(&clock);
+  Span span = tracer.StartSpan("repair.run");  // tick 1
+  journal.Record(JournalEvent("run.start"));   // tick 2
+  span.End();                                  // tick 3
+  EXPECT_EQ(journal.Lines()[0], "{\"type\":\"run.start\",\"tick\":2}");
+  EXPECT_EQ(tracer.Spans()[0].start_tick, 1u);
+  EXPECT_EQ(tracer.Spans()[0].end_tick, 3u);
+}
+
+TEST(JournalTest, EscapesJsonStrings) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JournalTest, WriteExportsJsonlToDisk) {
+  VirtualClock clock;
+  Journal journal(&clock);
+  journal.Record(JournalEvent("run.start").Set("tau", 30));
+  const std::string path = ::testing::TempDir() + "obs_journal_test.jsonl";
+  ASSERT_TRUE(journal.Write(path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), journal.ToJsonl());
+  std::remove(path.c_str());
+  EXPECT_FALSE(journal.Write("/nonexistent-dir/journal.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace chameleon::obs
+
+// ---------------------------------------------------------------------------
+// Pipeline determinism: the instrumented repair run
+// ---------------------------------------------------------------------------
+
+namespace chameleon::core {
+namespace {
+
+struct ObservedRun {
+  RepairReport report;
+  std::string journal;
+  std::string trace;
+  std::vector<obs::MetricSample> metrics;
+  int64_t model_queries = 0;
+};
+
+/// One seeded FERET repair with an observability sink attached (or not).
+ObservedRun RunObserved(int num_threads, bool observe) {
+  embedding::SimulatedEmbedder embedder;
+  fm::EvaluatorPool evaluators(2024);
+  fm::Corpus corpus = *datasets::MakeFeret(&embedder, datasets::FeretOptions());
+  fm::SimulatedFoundationModel model(corpus.dataset.schema(),
+                                     datasets::FeretFaceStyleFn(),
+                                     datasets::FeretScene(),
+                                     fm::SimulatedFoundationModel::Options());
+
+  obs::Observability observability;
+  ChameleonOptions options;
+  options.tau = 40;
+  options.seed = 11;
+  options.num_threads = num_threads;
+  options.rejection_batch = 4;
+  if (observe) options.observability = &observability;
+
+  Chameleon system(&model, &embedder, &evaluators, options);
+  auto report = system.RepairMinLevelMups(&corpus);
+  EXPECT_TRUE(report.ok());
+
+  ObservedRun run;
+  run.report = *report;
+  run.journal = observability.journal.ToJsonl();
+  run.trace = observability.tracer.ToJsonl();
+  run.metrics = observability.registry.Snapshot();
+  run.model_queries = model.num_queries();
+  return run;
+}
+
+/// The stable subset of a snapshot, flattened for exact comparison.
+std::map<std::string, std::string> StableMetrics(
+    const std::vector<obs::MetricSample>& samples) {
+  std::map<std::string, std::string> out;
+  for (const obs::MetricSample& sample : samples) {
+    if (!obs::IsStableMetric(sample.name)) continue;
+    std::string value = sample.type;
+    value += ':';
+    value += obs::FormatMetricValue(sample.value);
+    if (sample.type == "histogram") {
+      value += ":sum=";
+      value += obs::FormatMetricValue(sample.sum);
+      for (int64_t bucket : sample.buckets) {
+        value += ',';
+        value += std::to_string(bucket);
+      }
+    }
+    out[sample.name] = value;
+  }
+  return out;
+}
+
+TEST(ObsPipelineTest, InstrumentedRunIsByteIdenticalAcrossThreadCounts) {
+  const ObservedRun serial = RunObserved(/*num_threads=*/1, /*observe=*/true);
+  ASSERT_GT(serial.report.accepted, 0);
+  ASSERT_FALSE(serial.journal.empty());
+  ASSERT_FALSE(serial.trace.empty());
+
+  for (int threads : {2, 8}) {
+    const ObservedRun parallel = RunObserved(threads, /*observe=*/true);
+    EXPECT_EQ(parallel.journal, serial.journal) << threads << " threads";
+    EXPECT_EQ(parallel.trace, serial.trace) << threads << " threads";
+    EXPECT_EQ(StableMetrics(parallel.metrics), StableMetrics(serial.metrics))
+        << threads << " threads";
+  }
+}
+
+TEST(ObsPipelineTest, JournalHasWellFormedEventStructure) {
+  const ObservedRun run = RunObserved(/*num_threads=*/2, /*observe=*/true);
+  std::vector<std::string> lines;
+  std::stringstream stream(run.journal);
+  for (std::string line; std::getline(stream, line);) lines.push_back(line);
+  ASSERT_GE(lines.size(), 4u);
+
+  auto type_of = [](const std::string& line) {
+    const std::string prefix = "{\"type\":\"";
+    EXPECT_EQ(line.rfind(prefix, 0), 0u) << line;
+    return line.substr(prefix.size(),
+                       line.find('"', prefix.size()) - prefix.size());
+  };
+  EXPECT_EQ(type_of(lines.front()), "run.start");
+  EXPECT_EQ(type_of(lines.back()), "run.end");
+
+  const std::vector<std::string> known = {
+      "run.start", "mup.found", "plan.entry",     "fm.query",
+      "fm.retry",  "fm.parked", "fm.breaker",     "run.end",
+      "tuple.accepted",         "tuple.rejected"};
+  std::map<std::string, int> seen;
+  for (const std::string& line : lines) {
+    const std::string type = type_of(line);
+    EXPECT_NE(std::find(known.begin(), known.end(), type), known.end())
+        << "unknown journal event type: " << type;
+    ++seen[type];
+  }
+  EXPECT_EQ(seen["run.start"], 1);
+  EXPECT_EQ(seen["run.end"], 1);
+  EXPECT_GT(seen["mup.found"], 0);
+  EXPECT_GT(seen["plan.entry"], 0);
+  // Every issued query journals one fm.query (parked ones included);
+  // every evaluated candidate journals exactly one verdict.
+  EXPECT_EQ(seen["fm.query"], run.report.queries + seen["fm.parked"]);
+  EXPECT_EQ(seen["tuple.accepted"] + seen["tuple.rejected"],
+            run.report.queries);
+  EXPECT_EQ(seen["tuple.accepted"], run.report.accepted);
+}
+
+TEST(ObsPipelineTest, ObservabilityDoesNotPerturbAcceptedTuples) {
+  const ObservedRun on = RunObserved(/*num_threads=*/2, /*observe=*/true);
+  const ObservedRun off = RunObserved(/*num_threads=*/2, /*observe=*/false);
+  EXPECT_EQ(on.report.queries, off.report.queries);
+  EXPECT_EQ(on.report.accepted, off.report.accepted);
+  EXPECT_EQ(on.report.distribution_passes, off.report.distribution_passes);
+  EXPECT_EQ(on.report.quality_passes, off.report.quality_passes);
+  EXPECT_EQ(on.report.fully_resolved, off.report.fully_resolved);
+  EXPECT_EQ(on.model_queries, off.model_queries);
+  ASSERT_EQ(on.report.records.size(), off.report.records.size());
+  for (size_t i = 0; i < on.report.records.size(); ++i) {
+    EXPECT_EQ(on.report.records[i].target_values,
+              off.report.records[i].target_values);
+    EXPECT_EQ(on.report.records[i].embedding, off.report.records[i].embedding);
+    EXPECT_EQ(on.report.records[i].arm, off.report.records[i].arm);
+    EXPECT_EQ(on.report.records[i].accepted, off.report.records[i].accepted);
+  }
+  // The off run recorded literally nothing.
+  EXPECT_TRUE(off.journal.empty());
+  EXPECT_TRUE(off.trace.empty());
+  EXPECT_TRUE(off.metrics.empty());
+}
+
+}  // namespace
+}  // namespace chameleon::core

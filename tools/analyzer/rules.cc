@@ -221,9 +221,22 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
       "AddTuple",           // coverage::PatternCounter
       "LoadCorpus",         // fm corpus persistence
       "SaveCorpus",
+      "Write",              // obs Registry/Tracer/Journal file export
   };
   for (const char* name : kKnownStatusApis) {
     registry->status_returning.insert(name);
+  }
+  // The observability layer's handle-returning surface: the return value
+  // is the whole point of the call, so a discarded call is a bug even
+  // though the return type is not Status/Result.
+  static const char* const kKnownMustUseApis[] = {
+      "StartSpan",  // obs::Tracer — discarding the Span ends it immediately
+      "Counter",    // obs::Registry — instrument lookups
+      "Gauge",
+      "Histogram",
+  };
+  for (const char* name : kKnownMustUseApis) {
+    registry->must_use.insert(name);
   }
 }
 
@@ -302,7 +315,17 @@ void CheckStatusDiscipline(const std::string& path, const LexResult& lex,
       callee.clear();  // declaration, assignment, arithmetic, ...
       break;
     }
-    if (callee.empty() || !registry.IsUnambiguousStatus(callee)) continue;
+    if (callee.empty()) continue;
+    if (registry.IsMustUse(callee)) {
+      Emit(lex, out,
+           {path, toks[s].line, toks[s].col, "status-discipline",
+            "result of '" + callee +
+                "' is discarded; the returned handle is the product of the "
+                "call (a discarded Span ends immediately, a discarded "
+                "instrument pointer records nothing)"});
+      continue;
+    }
+    if (!registry.IsUnambiguousStatus(callee)) continue;
     Emit(lex, out,
          {path, toks[s].line, toks[s].col, "status-discipline",
           "result of Status/Result-returning '" + callee +

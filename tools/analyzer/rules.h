@@ -45,9 +45,18 @@ const std::vector<RuleInfo>& Rules();
 struct FunctionRegistry {
   std::set<std::string> status_returning;
   std::set<std::string> other_returning;
+  /// Names whose return value *is* the product of the call — RAII handles
+  /// and registry lookups (obs::Tracer::StartSpan, obs::Registry's
+  /// Counter/Gauge/Histogram). Discarding one is flagged regardless of the
+  /// status/other ambiguity machinery: a discarded Span ends immediately,
+  /// and a discarded instrument pointer records nothing.
+  std::set<std::string> must_use;
 
   bool IsUnambiguousStatus(const std::string& name) const {
     return status_returning.count(name) > 0 && other_returning.count(name) == 0;
+  }
+  bool IsMustUse(const std::string& name) const {
+    return must_use.count(name) > 0;
   }
 };
 

@@ -5,6 +5,8 @@
 //                        [--strategy=linucb|similar|random|noguide]
 //                        [--mask=accurate|moderate|imprecise]
 //                        [--alpha=0.1] [--nu=0.3] [--seed=S] [--out=DIR]
+//                        [--metrics] [--metrics-out=F] [--trace-out=F]
+//                        [--journal-out=F]
 //   chameleon_cli plan   --dataset=feret|utkface --tau=N
 //                        [--algorithm=greedy|mingap|random]
 //
@@ -12,6 +14,12 @@
 // combination-selection plan without touching a foundation model;
 // `repair` runs the full pipeline against the simulated foundation model
 // and optionally saves the repaired corpus (CSV + PNM) to --out.
+//
+// Observability (DESIGN.md §9): any of --metrics / --metrics-out= /
+// --trace-out= / --journal-out= attaches an obs::Observability sink to
+// the repair run. --metrics prints the registry as a table; the *-out
+// flags export metrics / spans / the run journal as JSONL files.
+// Instrumentation never changes which tuples are accepted.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +36,7 @@
 #include "src/fm/corpus_io.h"
 #include "src/fm/evaluator_pool.h"
 #include "src/fm/simulated_foundation_model.h"
+#include "src/obs/observability.h"
 #include "src/util/table_printer.h"
 
 namespace {
@@ -53,6 +62,9 @@ class Flags {
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
   }
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = values_.find(key);
@@ -212,6 +224,14 @@ int CmdRepair(const Flags& flags) {
     return 1;
   }
 
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  const std::string trace_out = flags.Get("trace-out", "");
+  const std::string journal_out = flags.Get("journal-out", "");
+  obs::Observability observability;
+  const bool observe = flags.Has("metrics") || !metrics_out.empty() ||
+                       !trace_out.empty() || !journal_out.empty();
+  if (observe) options.observability = &observability;
+
   fm::SimulatedFoundationModel model(loaded.corpus.dataset.schema(),
                                      loaded.style_fn, loaded.scene,
                                      fm::SimulatedFoundationModel::Options());
@@ -231,6 +251,37 @@ int CmdRepair(const Flags& flags) {
               static_cast<long long>(report->accepted),
               100.0 * report->AcceptanceRate(), report->estimated_p,
               report->total_cost, report->fully_resolved ? "yes" : "no");
+
+  if (flags.Has("metrics")) {
+    std::printf("%s", observability.registry.ToTable().ToString().c_str());
+  }
+  if (!metrics_out.empty()) {
+    const util::Status written = observability.registry.Write(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const util::Status written = observability.tracer.Write(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
+  if (!journal_out.empty()) {
+    const util::Status written = observability.journal.Write(journal_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "journal export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("journal written to %s\n", journal_out.c_str());
+  }
 
   const std::string out = flags.Get("out", "");
   if (!out.empty()) {
@@ -253,7 +304,9 @@ int Usage() {
                "  repair --dataset=... --tau=N [--strategy=linucb|similar|"
                "random|noguide]\n"
                "         [--mask=accurate|moderate|imprecise] [--alpha=A] "
-               "[--nu=V] [--out=DIR]\n");
+               "[--nu=V] [--out=DIR]\n"
+               "         [--metrics] [--metrics-out=FILE] [--trace-out=FILE] "
+               "[--journal-out=FILE]\n");
   return 2;
 }
 

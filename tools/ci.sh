@@ -32,6 +32,14 @@ run_job() {
   cmake --build "${dir}" -j "${PARALLEL}"
   echo "==== [${name}] ctest ===="
   ctest --test-dir "${dir}" --output-on-failure
+  if [[ "${name}" == "tsan" ]]; then
+    # Focused second pass over the suites that exercise cross-thread
+    # machinery hardest: the fault-injection stack and the observability
+    # layer's concurrent counters/histograms and instrumented pipeline
+    # runs (labelled `resilience` and `obs` in tests/CMakeLists.txt).
+    echo "==== [${name}] ctest -L 'resilience|obs' (focused rerun) ===="
+    ctest --test-dir "${dir}" --output-on-failure -L 'resilience|obs'
+  fi
 }
 
 # Fault-injection gate: the resilience suite (flaky/resilient decorators,
