@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/experiment_common.h"
 #include "src/bandit/epsilon_greedy.h"
 #include "src/bandit/linucb.h"
 #include "src/core/rejection_sampler.h"
@@ -42,7 +43,8 @@ const char* PolicyName(Policy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf(
       "=== Ablation: arm-selection policy for guide modification ===\n");
 
@@ -153,5 +155,6 @@ int main() {
       "the quality oracle, because the reward it learns from is the JOINT\n"
       "pass (quality AND distribution), while the oracle only minimizes\n"
       "the hidden quality difficulty.\n");
-  return 0;
+  return bench::FinishExperiment(argc, argv, "bench_ablation_bandit",
+                                 bench_stopwatch.ElapsedSeconds(), 0);
 }

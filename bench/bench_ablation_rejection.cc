@@ -69,7 +69,8 @@ core::ChameleonOptions MakeOptions(Gate gate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf(
       "=== Ablation: rejection sampling on/off (FERET, tau=100) ===\n");
 
@@ -143,5 +144,6 @@ int main() {
       "\nExpected: dropping the quality gate admits low-realism tuples;\n"
       "dropping the distribution gate admits context drift; the full\n"
       "system needs more queries but yields the cleanest augmentation.\n");
-  return 0;
+  return bench::FinishExperiment(argc, argv, "bench_ablation_rejection",
+                                 bench_stopwatch.ElapsedSeconds(), 0);
 }

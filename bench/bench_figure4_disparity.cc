@@ -15,7 +15,8 @@
 
 using namespace chameleon;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf("=== Figure 4: disparity reduction after repair ===\n");
 
   const embedding::SimulatedEmbedder embedder;
@@ -94,5 +95,6 @@ int main() {
                 util::Fmt(after.WeightedF1()),
                 util::Fmt(after.WeightedF1() - before.WeightedF1())});
   std::printf("%s", price.ToString().c_str());
-  return 0;
+  return bench::FinishExperiment(argc, argv, "bench_figure4_disparity",
+                                 bench_stopwatch.ElapsedSeconds(), 0);
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/experiment_common.h"
 #include "src/core/combination_selection.h"
 #include "src/coverage/mup_finder.h"
 #include "src/coverage/pattern_counter.h"
@@ -16,7 +17,8 @@
 
 using namespace chameleon;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf(
       "=== Figure 6: combination-selection cost on UTKFace "
       "(n=20000) ===\n");
@@ -65,5 +67,6 @@ int main() {
       "\nExpected shape (paper): Greedy lowest everywhere; Min-Gap beats\n"
       "Random on level-2 repairs (tau=200/350) but degrades badly on\n"
       "level-1 repairs (tau=1000/2000).\n");
-  return 0;
+  return bench::FinishExperiment(argc, argv, "bench_figure6_combination_selection",
+                                 bench_stopwatch.ElapsedSeconds(), 0);
 }

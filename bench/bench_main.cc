@@ -1,0 +1,137 @@
+// Custom main for the google-benchmark micro-benchmarks. benchmark_main
+// rejects unknown flags, so this wrapper strips the harness flags before
+// handing over:
+//
+//   --json=<path>  write a schema-v1 BENCH_<name>.json report (see
+//                  experiment_common.h) with per-case ns/op and digest
+//                  percentiles over repetitions
+//   --smoke        continuous-benchmark smoke mode: caps min time per
+//                  case and runs several repetitions so the whole binary
+//                  finishes in seconds; the reported ns/op is the median
+//                  over repetitions, which survives load spikes on noisy
+//                  CI machines far better than a single-shot mean
+//
+// Everything else (--benchmark_filter, --benchmark_repetitions, ...) is
+// passed through to google-benchmark unchanged.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/experiment_common.h"
+#include "src/obs/quantile_digest.h"
+
+namespace {
+
+/// Console output plus per-case aggregation for the JSON report.
+/// Repetitions of one case fold into a single BenchCase whose digest
+/// carries the per-repetition ns/op spread.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct CaseAggregate {
+    std::string name;
+    int64_t iterations = 0;
+    int64_t repetitions = 0;
+    chameleon::obs::QuantileDigest ns_digest;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e9 /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      CaseAggregate* aggregate = FindOrAdd(run.benchmark_name());
+      aggregate->iterations += run.iterations;
+      ++aggregate->repetitions;
+      aggregate->ns_digest.Add(ns_per_op);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<CaseAggregate>& cases() const { return cases_; }
+
+ private:
+  CaseAggregate* FindOrAdd(const std::string& name) {
+    for (CaseAggregate& aggregate : cases_) {
+      if (aggregate.name == name) return &aggregate;
+    }
+    cases_.emplace_back();
+    cases_.back().name = name;
+    return &cases_.back();
+  }
+
+  std::vector<CaseAggregate> cases_;
+};
+
+std::string BinaryName(const char* argv0) {
+  std::string name = argv0;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  // benchmark 1.7 takes --benchmark_min_time as a plain double (seconds).
+  // The repetitions feed the per-case digest; gating on the median of
+  // several short repetitions beats one long run on a noisy machine.
+  std::string min_time_flag = "--benchmark_min_time=0.01";
+  std::string repetitions_flag = "--benchmark_repetitions=7";
+  std::string no_aggregates_flag = "--benchmark_report_aggregates_only=false";
+  if (smoke) {
+    passthrough.push_back(min_time_flag.data());
+    passthrough.push_back(repetitions_flag.data());
+    passthrough.push_back(no_aggregates_flag.data());
+  }
+
+  int passthrough_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&passthrough_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(passthrough_argc,
+                                             passthrough.data())) {
+    return 2;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (json_path.empty()) return 0;
+  chameleon::bench::BenchJsonReport report(BinaryName(argv[0]));
+  report.set_smoke(smoke);
+  report.AddConfig("min_time", smoke ? "0.01" : "default");
+  report.AddConfig("repetitions", smoke ? "7" : "default");
+  for (const CollectingReporter::CaseAggregate& aggregate :
+       reporter.cases()) {
+    // Minimum over repetitions: scheduler/load contention only ever adds
+    // time, so the min is the least-noisy estimate of the true cost on a
+    // busy CI machine (the digest still records the full spread). Equal
+    // to the single measurement when repetitions were not requested.
+    report.AddCase(aggregate.name, aggregate.ns_digest.Quantile(0.0),
+                   aggregate.iterations, aggregate.ns_digest);
+  }
+  const chameleon::util::Status status = report.WriteJson(json_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench json: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

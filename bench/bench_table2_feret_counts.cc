@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/experiment_common.h"
 #include "src/data/pattern.h"
 #include "src/datasets/feret.h"
 #include "src/embedding/simulated_embedder.h"
@@ -12,7 +13,8 @@
 
 using namespace chameleon;  // Bench binary; brevity over hygiene.
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf("=== Table 2: demographic groups distribution in FERETDB ===\n");
   const embedding::SimulatedEmbedder embedder;
   datasets::FeretOptions options;
@@ -55,5 +57,7 @@ int main() {
                 total_male + total_female == 756 ? "yes" : "NO"});
   std::printf("%s", table.ToString().c_str());
   std::printf("paper counts reproduced: %s\n", all_match ? "yes" : "NO");
-  return all_match ? 0 : 1;
+  return bench::FinishExperiment(argc, argv, "bench_table2_feret_counts",
+                                 bench_stopwatch.ElapsedSeconds(),
+                                 all_match ? 0 : 1);
 }

@@ -44,7 +44,8 @@ void AddReportRows(util::TablePrinter* table, const char* dataset_label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf(
       "=== Table 3: repairing lack of coverage on FERETDB (tau=100, "
       "seed=%llu) ===\n",
@@ -106,5 +107,6 @@ int main() {
               repair->total_cost);
   std::printf("level-1 MUPs resolved: %s\n",
               repair->fully_resolved ? "yes" : "NO");
-  return 0;
+  return bench::FinishExperiment(argc, argv, "bench_table3_proof_of_concept",
+                                 bench_stopwatch.ElapsedSeconds(), 0);
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/experiment_common.h"
 #include "src/core/chameleon.h"
 #include "src/datasets/utkface.h"
 #include "src/embedding/simulated_embedder.h"
@@ -58,7 +59,8 @@ SettingResult ScoreRecords(const std::vector<core::GenerationRecord>& records,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf(
       "=== Table 4: guide-selection strategies x mask levels "
       "(UTKFace challenge subset, tau=10, nu=0.3) ===\n");
@@ -156,5 +158,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper): LinUCB QTAR > Similar-Tuple > Random-Guide;"
       "\nNo-Guide DDTAR lowest (~0.5); Accurate mask best DDTAR, worst QTAR.\n");
-  return 0;
+  return bench::FinishExperiment(argc, argv, "bench_table4_guide_strategies",
+                                 bench_stopwatch.ElapsedSeconds(), 0);
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/experiment_common.h"
 #include "src/core/guide_selection.h"
 #include "src/datasets/utkface.h"
 #include "src/embedding/simulated_embedder.h"
@@ -46,7 +47,8 @@ std::vector<int64_t> WorstByScore(const std::vector<double>& scores,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Stopwatch bench_stopwatch;
   std::printf("=== Table 5: IQA tools vs human ground truth ===\n");
 
   const embedding::SimulatedEmbedder embedder;
@@ -117,7 +119,8 @@ int main() {
               human_rejects.size(), kNumImages, p);
   if (human_rejects.empty()) {
     std::printf("no rejected images; nothing to compare\n");
-    return 0;
+    return bench::FinishExperiment(argc, argv, "bench_table5_iqa_jaccard",
+                                   bench_stopwatch.ElapsedSeconds(), 0);
   }
 
   // Train the IQA tools on the real corpus and calibrate each threshold
@@ -155,5 +158,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper: NIQE 0.127, BRISQUE 0.068, NIMA 0.068):\n"
       "all tools score low — none reliably isolates unrealistic images.\n");
-  return 0;
+  return bench::FinishExperiment(argc, argv, "bench_table5_iqa_jaccard",
+                                 bench_stopwatch.ElapsedSeconds(), 0);
 }

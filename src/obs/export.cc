@@ -1,0 +1,115 @@
+#include "src/obs/export.h"
+
+#include <cctype>
+#include <fstream>
+#include <vector>
+
+#include "src/obs/journal.h"
+
+namespace chameleon::obs {
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; everything
+/// else (the registry's dots, mostly) flattens to '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':' ||
+                    (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("_") : out;
+}
+
+util::Status WriteText(const std::string& text, const std::string& path,
+                       const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::IoError(std::string("cannot open ") + what +
+                                 " file: " + path);
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    return util::Status::IoError(std::string("failed writing ") + what +
+                                 ": " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string ExportOpenMetrics(const Registry& registry) {
+  std::string out;
+  for (const MetricSample& sample : registry.Snapshot()) {
+    const std::string name = SanitizeMetricName(sample.name);
+    if (sample.type == "counter") {
+      out += "# TYPE " + name + " counter\n";
+      out += name + "_total " + FormatMetricValue(sample.value) + "\n";
+    } else if (sample.type == "gauge") {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + FormatMetricValue(sample.value) + "\n";
+    } else {
+      out += "# TYPE " + name + " histogram\n";
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < sample.buckets.size(); ++i) {
+        cumulative += sample.buckets[i];
+        const std::string le = i < sample.bounds.size()
+                                   ? FormatMetricValue(sample.bounds[i])
+                                   : std::string("+Inf");
+        out += name + "_bucket{le=\"" + le + "\"} " +
+               util::Fmt(cumulative) + "\n";
+      }
+      out += name + "_sum " + FormatMetricValue(sample.sum) + "\n";
+      out += name + "_count " + FormatMetricValue(sample.value) + "\n";
+      out += "# TYPE " + name + "_latency summary\n";
+      const std::pair<const char*, double> quantiles[] = {
+          {"0.5", sample.p50}, {"0.9", sample.p90}, {"0.99", sample.p99}};
+      for (const auto& [label, value] : quantiles) {
+        out += name + "_latency{quantile=\"" + label + "\"} " +
+               FormatMetricValue(value) + "\n";
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string ExportTraceEvents(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":"
+                    "{\"clock\":\"virtual ticks (1 tick = 1us)\"},"
+                    "\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : tracer.Spans()) {
+    if (!first) out += ",";
+    first = false;
+    const bool open = span.end_tick == 0;
+    out += "\n{\"name\":\"" + JsonEscape(span.name) +
+           "\",\"cat\":\"chameleon\",\"ph\":\"" + (open ? "B" : "X") +
+           "\",\"pid\":1,\"tid\":1,\"ts\":" + std::to_string(span.start_tick);
+    if (!open) {
+      out += ",\"dur\":" + std::to_string(span.end_tick - span.start_tick);
+    }
+    out += ",\"args\":{\"id\":" + std::to_string(span.id) +
+           ",\"parent\":" + std::to_string(span.parent_id) +
+           ",\"depth\":" + std::to_string(span.depth) +
+           ",\"start_ms\":" + FormatMetricValue(span.start_ms) +
+           ",\"end_ms\":" + FormatMetricValue(span.end_ms) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+util::Status WriteOpenMetrics(const Registry& registry,
+                              const std::string& path) {
+  return WriteText(ExportOpenMetrics(registry), path, "openmetrics");
+}
+
+util::Status WriteTraceEvents(const Tracer& tracer, const std::string& path) {
+  return WriteText(ExportTraceEvents(tracer), path, "trace-events");
+}
+
+}  // namespace chameleon::obs

@@ -1,0 +1,52 @@
+#ifndef CHAMELEON_OBS_EXPORT_H_
+#define CHAMELEON_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace chameleon::obs {
+
+/// Renders a registry snapshot in the OpenMetrics / Prometheus text
+/// exposition format, ready for `promtool check metrics` or a scrape
+/// endpoint:
+///
+///   # TYPE fm_queries counter
+///   fm_queries_total 47
+///   # TYPE rejection_decision_value histogram
+///   rejection_decision_value_bucket{le="-2"} 0
+///   ...
+///   rejection_decision_value_bucket{le="+Inf"} 12
+///   rejection_decision_value_sum 3.5
+///   rejection_decision_value_count 12
+///   # EOF
+///
+/// Metric names are sanitized (dots and other non-[a-zA-Z0-9_:] become
+/// '_'); counters gain the conventional `_total` suffix. Each histogram
+/// additionally exports its digest quantiles as a summary named
+/// `<name>_latency` with quantile labels 0.5 / 0.9 / 0.99. Output is
+/// sorted by metric name and deterministic for a fixed snapshot.
+[[nodiscard]] std::string ExportOpenMetrics(const Registry& registry);
+
+/// Renders the span tree in the Chrome `trace_event` JSON format, which
+/// loads directly in Perfetto / `about://tracing`. The time axis is the
+/// deterministic virtual tick counter (microsecond units in the file, 1
+/// tick = 1 us), so two traces of the same seeded run are byte-identical
+/// at every thread count; the virtual-millisecond axis travels in each
+/// event's `args`. Closed spans become complete ("ph":"X") events; spans
+/// still open when exporting become begin ("ph":"B") events.
+[[nodiscard]] std::string ExportTraceEvents(const Tracer& tracer);
+
+/// Writes ExportOpenMetrics(registry) to `path`.
+[[nodiscard]] util::Status WriteOpenMetrics(const Registry& registry,
+                                            const std::string& path);
+
+/// Writes ExportTraceEvents(tracer) to `path`.
+[[nodiscard]] util::Status WriteTraceEvents(const Tracer& tracer,
+                                            const std::string& path);
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_EXPORT_H_

@@ -48,6 +48,10 @@ std::string JournalEvent::ToJson(uint64_t tick) const {
 void Journal::Record(const JournalEvent& event) {
   std::lock_guard<std::mutex> lock(mutex_);
   lines_.push_back(event.ToJson(clock_->Tick()));
+  if (stream_ != nullptr) {
+    *stream_ << lines_.back() << '\n';
+    stream_->flush();
+  }
 }
 
 size_t Journal::size() const {
@@ -78,6 +82,45 @@ util::Status Journal::Write(const std::string& path) const {
   out.close();
   if (!out) return util::Status::IoError("failed writing journal: " + path);
   return util::Status::Ok();
+}
+
+util::Status Journal::StreamTo(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_ != nullptr) {
+    return util::Status::FailedPrecondition(
+        "journal is already streaming to: " + stream_path_);
+  }
+  auto stream = std::make_unique<std::ofstream>(path);
+  if (!*stream) {
+    return util::Status::IoError("cannot open journal stream: " + path);
+  }
+  for (const std::string& line : lines_) *stream << line << '\n';
+  stream->flush();
+  if (!*stream) {
+    return util::Status::IoError("failed writing journal stream: " + path);
+  }
+  stream_ = std::move(stream);
+  stream_path_ = path;
+  return util::Status::Ok();
+}
+
+util::Status Journal::CloseStream() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_ == nullptr) return util::Status::Ok();
+  stream_->flush();
+  const bool ok = static_cast<bool>(*stream_);
+  const std::string path = stream_path_;
+  stream_.reset();
+  stream_path_.clear();
+  if (!ok) {
+    return util::Status::IoError("failed writing journal stream: " + path);
+  }
+  return util::Status::Ok();
+}
+
+bool Journal::streaming() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stream_ != nullptr;
 }
 
 std::string JsonEscape(const std::string& text) {

@@ -2,6 +2,8 @@
 #define CHAMELEON_OBS_JOURNAL_H_
 
 #include <cstdint>
+#include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -67,10 +69,26 @@ class Journal {
   /// Writes ToJsonl() to `path`.
   [[nodiscard]] util::Status Write(const std::string& path) const;
 
+  /// Opens `path` and appends every subsequent Record as one flushed
+  /// line. A run that dies mid-way therefore leaves an analyzable
+  /// prefix on disk (obsctl tolerates a truncated final line), instead
+  /// of the whole journal evaporating with the process. Events recorded
+  /// before StreamTo are written immediately, so the file is always a
+  /// prefix of ToJsonl().
+  [[nodiscard]] util::Status StreamTo(const std::string& path);
+
+  /// Flushes and closes the streaming sink; reports any pending write
+  /// error. No-op when not streaming.
+  [[nodiscard]] util::Status CloseStream();
+
+  bool streaming() const;
+
  private:
   VirtualClock* clock_;
   mutable std::mutex mutex_;
   std::vector<std::string> lines_;
+  std::unique_ptr<std::ofstream> stream_;
+  std::string stream_path_;
 };
 
 /// JSON string escaping (quotes, backslashes, control characters).

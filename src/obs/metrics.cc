@@ -23,6 +23,20 @@ void Histogram::Observe(double value) {
   while (!sum_.compare_exchange_weak(current, current + value,
                                      std::memory_order_relaxed)) {
   }
+  {
+    std::lock_guard<std::mutex> lock(digest_mutex_);
+    digest_.Add(value);
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(digest_mutex_);
+  return digest_.Quantile(q);
+}
+
+QuantileDigest Histogram::Digest() const {
+  std::lock_guard<std::mutex> lock(digest_mutex_);
+  return digest_;
 }
 
 std::vector<int64_t> Histogram::BucketCounts() const {
@@ -81,6 +95,9 @@ std::vector<MetricSample> Registry::Snapshot() const {
       sample.sum = histogram->sum();
       sample.bounds = histogram->bounds();
       sample.buckets = histogram->BucketCounts();
+      sample.p50 = histogram->Quantile(0.5);
+      sample.p90 = histogram->Quantile(0.9);
+      sample.p99 = histogram->Quantile(0.99);
       samples.push_back(std::move(sample));
     }
   }
@@ -96,7 +113,10 @@ util::TablePrinter Registry::ToTable() const {
   for (const MetricSample& sample : Snapshot()) {
     std::string detail;
     if (sample.type == "histogram") {
-      detail = "sum=" + FormatMetricValue(sample.sum) + " buckets=[";
+      detail = "sum=" + FormatMetricValue(sample.sum) +
+               " p50=" + FormatMetricValue(sample.p50) +
+               " p90=" + FormatMetricValue(sample.p90) +
+               " p99=" + FormatMetricValue(sample.p99) + " buckets=[";
       for (size_t i = 0; i < sample.buckets.size(); ++i) {
         if (i > 0) detail += " ";
         detail += (i < sample.bounds.size()
@@ -128,7 +148,9 @@ std::string Registry::ToJson() const {
         if (i > 0) out += ",";
         out += util::Fmt(sample.buckets[i]);
       }
-      out += "]";
+      out += "],\"p50\":" + FormatMetricValue(sample.p50) +
+             ",\"p90\":" + FormatMetricValue(sample.p90) +
+             ",\"p99\":" + FormatMetricValue(sample.p99);
     }
     out += "}\n";
   }

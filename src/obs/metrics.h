@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/quantile_digest.h"
 #include "src/util/status.h"
 #include "src/util/table_printer.h"
 
@@ -52,8 +53,14 @@ class Gauge {
 /// Fixed-bucket histogram. `bounds` are inclusive upper bounds in strictly
 /// increasing order; bucket i counts observations v with
 /// bounds[i-1] < v <= bounds[i], and one implicit overflow bucket counts
-/// v > bounds.back(). Thread-safe: per-bucket atomic counts plus CAS-added
-/// sum, so concurrent Observe calls never lose an observation.
+/// v > bounds.back(). Every observation also feeds a QuantileDigest, so
+/// p50/p90/p99 are queryable without choosing bucket bounds that happen
+/// to bracket them. Thread-safe: per-bucket atomic counts plus CAS-added
+/// sum (concurrent Observe calls never lose an observation) and a
+/// mutex-guarded digest. The digest contents depend on observation
+/// *order*, so its quantiles are part of the determinism contract only
+/// for metrics observed from the pipeline's serial path — which is every
+/// stable metric (DESIGN.md §9).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -67,11 +74,19 @@ class Histogram {
   /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
   std::vector<int64_t> BucketCounts() const;
 
+  /// Interpolated quantile of everything observed so far (0 when empty).
+  double Quantile(double q) const;
+
+  /// Copy of the underlying digest (for merging across registries).
+  QuantileDigest Digest() const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  mutable std::mutex digest_mutex_;
+  QuantileDigest digest_;
 };
 
 /// One exported metric, flattened for table/JSON rendering.
@@ -82,6 +97,9 @@ struct MetricSample {
   double sum = 0.0;                // histogram only
   std::vector<double> bounds;      // histogram only
   std::vector<int64_t> buckets;    // histogram only, bounds.size() + 1
+  double p50 = 0.0;                // histogram only, digest quantiles
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Name-indexed metric registry. Registration is idempotent: the first

@@ -1,0 +1,141 @@
+#include "src/obs/quantile_digest.h"
+
+#include <algorithm>
+
+namespace chameleon::obs {
+namespace {
+
+// Buffered values per compression, as a multiple of the centroid budget:
+// large enough to amortize the O(n log n) sort, small enough that a
+// digest never holds more than a few hundred doubles.
+constexpr int kBufferFactor = 4;
+
+}  // namespace
+
+QuantileDigest::QuantileDigest(int max_centroids)
+    : max_centroids_(std::max(4, max_centroids)) {
+  centroids_.reserve(static_cast<size_t>(max_centroids_) + 1);
+  buffer_.reserve(static_cast<size_t>(max_centroids_) * kBufferFactor);
+}
+
+void QuantileDigest::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  buffer_.push_back(value);
+  if (buffer_.size() >=
+      static_cast<size_t>(max_centroids_) * kBufferFactor) {
+    Compress();
+  }
+}
+
+void QuantileDigest::Merge(const QuantileDigest& other) {
+  other.Compress();
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  Compress();  // fold own buffer first so the merge sees centroids only
+  centroids_.insert(centroids_.end(), other.centroids_.begin(),
+                    other.centroids_.end());
+  std::stable_sort(centroids_.begin(), centroids_.end(),
+                   [](const Centroid& a, const Centroid& b) {
+                     return a.mean < b.mean;
+                   });
+  // Reuse the buffer-fold path's reducer by compressing with an already
+  // sorted centroid list and an empty buffer.
+  Compress();
+}
+
+void QuantileDigest::Compress() const {
+  if (!buffer_.empty()) {
+    std::sort(buffer_.begin(), buffer_.end());
+    std::vector<Centroid> merged;
+    merged.reserve(centroids_.size() + buffer_.size());
+    size_t ci = 0;
+    size_t bi = 0;
+    while (ci < centroids_.size() || bi < buffer_.size()) {
+      if (bi >= buffer_.size() ||
+          (ci < centroids_.size() && centroids_[ci].mean <= buffer_[bi])) {
+        merged.push_back(centroids_[ci++]);
+      } else {
+        merged.push_back({buffer_[bi++], 1});
+      }
+    }
+    centroids_ = std::move(merged);
+    buffer_.clear();
+  }
+  // Reduce to the budget: repeatedly merge the adjacent pair with the
+  // smallest combined weight; ties break to the leftmost pair, so the
+  // reduction is deterministic.
+  while (centroids_.size() > static_cast<size_t>(max_centroids_)) {
+    size_t best = 0;
+    int64_t best_weight = centroids_[0].weight + centroids_[1].weight;
+    for (size_t i = 1; i + 1 < centroids_.size(); ++i) {
+      const int64_t weight = centroids_[i].weight + centroids_[i + 1].weight;
+      if (weight < best_weight) {
+        best = i;
+        best_weight = weight;
+      }
+    }
+    Centroid& a = centroids_[best];
+    const Centroid& b = centroids_[best + 1];
+    const double total = static_cast<double>(a.weight + b.weight);
+    a.mean = (a.mean * static_cast<double>(a.weight) +
+              b.mean * static_cast<double>(b.weight)) /
+             total;
+    a.weight += b.weight;
+    centroids_.erase(centroids_.begin() +
+                     static_cast<std::ptrdiff_t>(best + 1));
+  }
+}
+
+size_t QuantileDigest::num_centroids() const {
+  Compress();
+  return centroids_.size();
+}
+
+double QuantileDigest::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  Compress();
+  q = std::clamp(q, 0.0, 1.0);
+  if (count_ == 1 || q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Treat centroid i as centroids_[i].weight points clustered at its
+  // mean, giving it the midpoint rank cum + (weight - 1) / 2. The target
+  // rank q * (count - 1) is interpolated between neighbouring midpoints,
+  // with the exact min/max anchoring the extremes.
+  const double target = q * static_cast<double>(count_ - 1);
+  double prev_rank = 0.0;
+  double prev_mean = min_;
+  int64_t cum = 0;
+  for (const Centroid& c : centroids_) {
+    const double rank =
+        static_cast<double>(cum) + static_cast<double>(c.weight - 1) / 2.0;
+    if (target <= rank) {
+      if (rank <= prev_rank) return c.mean;
+      const double t = (target - prev_rank) / (rank - prev_rank);
+      return prev_mean + t * (c.mean - prev_mean);
+    }
+    prev_rank = rank;
+    prev_mean = c.mean;
+    cum += c.weight;
+  }
+  const double last_rank = static_cast<double>(count_ - 1);
+  if (last_rank <= prev_rank) return max_;
+  const double t = (target - prev_rank) / (last_rank - prev_rank);
+  return prev_mean + t * (max_ - prev_mean);
+}
+
+}  // namespace chameleon::obs

@@ -1,0 +1,74 @@
+#ifndef CHAMELEON_OBS_QUANTILE_DIGEST_H_
+#define CHAMELEON_OBS_QUANTILE_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chameleon::obs {
+
+/// Mergeable streaming quantile sketch with a fixed centroid budget.
+///
+/// The digest keeps at most `max_centroids` (mean, weight) pairs sorted
+/// by mean, plus an insertion buffer. When the buffer fills, buffered
+/// values are folded in and the centroid list is compressed by
+/// repeatedly merging the adjacent pair with the smallest combined
+/// weight (ties break to the leftmost pair), which keeps the tails —
+/// where weights stay small — at high resolution. The exact minimum and
+/// maximum are tracked separately so Quantile(0) and Quantile(1) are
+/// always exact.
+///
+/// Determinism contract: the structure is fully determined by the
+/// sequence of Add/Merge calls — no randomness, no wall clock — so two
+/// runs that observe the same values in the same order produce
+/// bit-identical digests (the property the observability layer's stable
+/// metrics and the bench JSON reporter rely on). While the value count
+/// is at most `max_centroids`, every value is its own centroid and
+/// quantiles are exact (linearly interpolated order statistics).
+///
+/// Single-writer structure: callers serialize access themselves
+/// (obs::Histogram wraps one in a mutex).
+class QuantileDigest {
+ public:
+  explicit QuantileDigest(int max_centroids = kDefaultMaxCentroids);
+
+  void Add(double value);
+
+  /// Folds `other`'s centroids into this digest (weights preserved).
+  void Merge(const QuantileDigest& other);
+
+  /// Interpolated quantile for q in [0, 1] (clamped). Returns 0 for an
+  /// empty digest so exported values stay JSON-representable.
+  double Quantile(double q) const;
+
+  int64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Number of retained centroids (after folding the buffer in).
+  size_t num_centroids() const;
+
+  static constexpr int kDefaultMaxCentroids = 64;
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    int64_t weight = 0;
+  };
+
+  /// Folds the buffer into `centroids_` and compresses to the budget.
+  void Compress() const;
+
+  int max_centroids_;
+  int64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Logically const views (Quantile/num_centroids) fold the pending
+  // buffer in first; both members are mutable for that amortization.
+  mutable std::vector<Centroid> centroids_;  // sorted by mean
+  mutable std::vector<double> buffer_;
+};
+
+}  // namespace chameleon::obs
+
+#endif  // CHAMELEON_OBS_QUANTILE_DIGEST_H_

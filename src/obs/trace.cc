@@ -45,6 +45,10 @@ void Tracer::EndSpan(int64_t id) {
   record.end_tick = clock_->Tick();
   record.end_ms = clock_->NowMs();
   stack_.erase(std::remove(stack_.begin(), stack_.end(), id), stack_.end());
+  if (stream_ != nullptr) {
+    *stream_ << SpanToJson(record) << '\n';
+    stream_->flush();
+  }
 }
 
 std::vector<SpanRecord> Tracer::Spans() const {
@@ -57,16 +61,21 @@ size_t Tracer::num_open() const {
   return stack_.size();
 }
 
+std::string SpanToJson(const SpanRecord& span) {
+  return "{\"id\":" + std::to_string(span.id) +
+         ",\"parent\":" + std::to_string(span.parent_id) +
+         ",\"depth\":" + std::to_string(span.depth) + ",\"name\":\"" +
+         span.name + "\",\"start_tick\":" + std::to_string(span.start_tick) +
+         ",\"end_tick\":" + std::to_string(span.end_tick) +
+         ",\"start_ms\":" + FormatMetricValue(span.start_ms) +
+         ",\"end_ms\":" + FormatMetricValue(span.end_ms) + "}";
+}
+
 std::string Tracer::ToJsonl() const {
   std::string out;
   for (const SpanRecord& span : Spans()) {
-    out += "{\"id\":" + std::to_string(span.id) +
-           ",\"parent\":" + std::to_string(span.parent_id) +
-           ",\"depth\":" + std::to_string(span.depth) + ",\"name\":\"" +
-           span.name + "\",\"start_tick\":" + std::to_string(span.start_tick) +
-           ",\"end_tick\":" + std::to_string(span.end_tick) +
-           ",\"start_ms\":" + FormatMetricValue(span.start_ms) +
-           ",\"end_ms\":" + FormatMetricValue(span.end_ms) + "}\n";
+    out += SpanToJson(span);
+    out += "\n";
   }
   return out;
 }
@@ -78,6 +87,50 @@ util::Status Tracer::Write(const std::string& path) const {
   out.close();
   if (!out) return util::Status::IoError("failed writing trace: " + path);
   return util::Status::Ok();
+}
+
+util::Status Tracer::StreamTo(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_ != nullptr) {
+    return util::Status::FailedPrecondition(
+        "tracer is already streaming to: " + stream_path_);
+  }
+  auto stream = std::make_unique<std::ofstream>(path);
+  if (!*stream) {
+    return util::Status::IoError("cannot open trace stream: " + path);
+  }
+  // Catch up on spans that already ended, in end order (approximated by
+  // start order among the ended — before streaming starts the
+  // distinction is unobservable in the file's analysis).
+  for (const SpanRecord& span : spans_) {
+    if (span.end_tick != 0) *stream << SpanToJson(span) << '\n';
+  }
+  stream->flush();
+  if (!*stream) {
+    return util::Status::IoError("failed writing trace stream: " + path);
+  }
+  stream_ = std::move(stream);
+  stream_path_ = path;
+  return util::Status::Ok();
+}
+
+util::Status Tracer::CloseStream() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_ == nullptr) return util::Status::Ok();
+  stream_->flush();
+  const bool ok = static_cast<bool>(*stream_);
+  const std::string path = stream_path_;
+  stream_.reset();
+  stream_path_.clear();
+  if (!ok) {
+    return util::Status::IoError("failed writing trace stream: " + path);
+  }
+  return util::Status::Ok();
+}
+
+bool Tracer::streaming() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stream_ != nullptr;
 }
 
 }  // namespace chameleon::obs

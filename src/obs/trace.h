@@ -2,6 +2,8 @@
 #define CHAMELEON_OBS_TRACE_H_
 
 #include <cstdint>
+#include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -81,6 +83,20 @@ class Tracer {
   /// Writes ToJsonl() to `path`.
   [[nodiscard]] util::Status Write(const std::string& path) const;
 
+  /// Opens `path` and appends each span as one flushed line the moment
+  /// it *ends* (a span's record is only complete then), so a killed run
+  /// leaves every finished span on disk. Spans that already ended are
+  /// written immediately; spans still open when the process dies are
+  /// lost — the price of the append-only format. Note the streamed file
+  /// is therefore in end order, not the start order Write() uses.
+  [[nodiscard]] util::Status StreamTo(const std::string& path);
+
+  /// Flushes and closes the streaming sink; reports any pending write
+  /// error. No-op when not streaming.
+  [[nodiscard]] util::Status CloseStream();
+
+  bool streaming() const;
+
  private:
   friend class Span;
   void EndSpan(int64_t id);
@@ -89,7 +105,12 @@ class Tracer {
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;  // index = id - 1
   std::vector<int64_t> stack_;     // ids of open spans, outermost first
+  std::unique_ptr<std::ofstream> stream_;
+  std::string stream_path_;
 };
+
+/// The single-line JSONL rendering shared by Write and StreamTo.
+std::string SpanToJson(const SpanRecord& span);
 
 }  // namespace chameleon::obs
 

@@ -278,6 +278,47 @@ util::Status Instrument(obs::Observability* observability) {
   EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
 }
 
+TEST(StatusDisciplineTest, SeededExporterAndStreamingApisAreFlagged) {
+  // PR 5 surface: the OpenMetrics/trace-event exporters (must-use — the
+  // returned string is the result), the bench JSON reporter's WriteJson,
+  // and the journal/tracer streaming sinks (Status-returning).
+  const std::string source = R"(
+void Export(obs::Observability* observability,
+            bench::BenchJsonReport* report) {
+  obs::ExportOpenMetrics(observability->registry);
+  obs::ExportTraceEvents(observability->tracer);
+  obs::WriteOpenMetrics(observability->registry, "/tmp/metrics.om");
+  report->WriteJson("/tmp/BENCH_x.json");
+  observability->journal.StreamTo("/tmp/journal.jsonl");
+  observability->journal.CloseStream();
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 6);
+  EXPECT_TRUE(registry.IsMustUse("ExportOpenMetrics"));
+  EXPECT_TRUE(registry.IsMustUse("ExportTraceEvents"));
+}
+
+TEST(StatusDisciplineTest, ConsumedExporterAndStreamingCallsAreClean) {
+  const std::string source = R"(
+util::Status Export(obs::Observability* observability) {
+  const std::string text = obs::ExportOpenMetrics(observability->registry);
+  CHAMELEON_RETURN_NOT_OK(observability->journal.StreamTo("/tmp/j.jsonl"));
+  return observability->journal.CloseStream();
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
 TEST(StatusDisciplineTest, NolintSuppressesMustUseFindings) {
   const std::string source =
       "void Instrument(obs::Tracer* tracer) {\n"

@@ -19,7 +19,9 @@
 #include "src/embedding/simulated_embedder.h"
 #include "src/fm/evaluator_pool.h"
 #include "src/fm/simulated_foundation_model.h"
+#include "src/obs/export.h"
 #include "src/obs/observability.h"
+#include "src/obs/quantile_digest.h"
 
 namespace chameleon::obs {
 namespace {
@@ -153,7 +155,8 @@ TEST(RegistryTest, ToJsonEmitsOneObjectPerLine) {
   EXPECT_EQ(json,
             "{\"name\":\"fm.queries\",\"type\":\"counter\",\"value\":47}\n"
             "{\"name\":\"lat\",\"type\":\"histogram\",\"value\":1,"
-            "\"sum\":1.5,\"bounds\":[1,2],\"buckets\":[0,1,0]}\n");
+            "\"sum\":1.5,\"bounds\":[1,2],\"buckets\":[0,1,0],"
+            "\"p50\":1.5,\"p90\":1.5,\"p99\":1.5}\n");
 }
 
 TEST(RegistryTest, ToTableRendersEveryMetric) {
@@ -327,6 +330,223 @@ TEST(JournalTest, EscapesJsonStrings) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
   EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+// ---------------------------------------------------------------------------
+// QuantileDigest
+// ---------------------------------------------------------------------------
+
+TEST(QuantileDigestTest, EmptyDigestReportsZero) {
+  QuantileDigest digest;
+  EXPECT_EQ(digest.count(), 0);
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileDigestTest, ExactWhileUnderCentroidBudget) {
+  // 50 values < the 64-centroid budget: quantiles are exact linear
+  // interpolation over the sorted values.
+  QuantileDigest digest;
+  for (int i = 0; i < 50; ++i) digest.Add(((i * 37) % 50) + 1.0);  // 1..50
+  EXPECT_EQ(digest.count(), 50);
+  EXPECT_DOUBLE_EQ(digest.min(), 1.0);
+  EXPECT_DOUBLE_EQ(digest.max(), 50.0);
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.5), 25.5);
+  EXPECT_DOUBLE_EQ(digest.Quantile(1.0), 50.0);
+}
+
+TEST(QuantileDigestTest, CompressionKeepsAnchorsAndMonotonicity) {
+  QuantileDigest digest;
+  for (int i = 0; i < 10000; ++i) {
+    digest.Add(static_cast<double>((i * 7919) % 10000));  // permutation
+  }
+  EXPECT_EQ(digest.count(), 10000);
+  EXPECT_LE(digest.num_centroids(), QuantileDigest::kDefaultMaxCentroids);
+  EXPECT_DOUBLE_EQ(digest.min(), 0.0);
+  EXPECT_DOUBLE_EQ(digest.max(), 9999.0);
+  EXPECT_DOUBLE_EQ(digest.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(digest.Quantile(1.0), 9999.0);
+  // Uniform data: each decile lands within 2% of the ideal, and the
+  // quantile function is monotone in q.
+  double previous = digest.Quantile(0.05);
+  for (int decile = 1; decile <= 9; ++decile) {
+    const double q = decile / 10.0;
+    const double value = digest.Quantile(q);
+    EXPECT_NEAR(value, q * 9999.0, 200.0) << "q=" << q;
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(QuantileDigestTest, IdenticalStreamsProduceIdenticalQuantiles) {
+  auto build = [] {
+    QuantileDigest digest;
+    for (int i = 0; i < 5000; ++i) {
+      digest.Add(static_cast<double>((i * 271) % 997));
+    }
+    return digest;
+  };
+  const QuantileDigest a = build();
+  const QuantileDigest b = build();
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileDigestTest, MergeCoversBothStreams) {
+  QuantileDigest evens;
+  QuantileDigest odds;
+  for (int i = 0; i < 5000; ++i) {
+    evens.Add(static_cast<double>(2 * i));        // 0..9998
+    odds.Add(static_cast<double>(2 * i + 1));     // 1..9999
+  }
+  evens.Merge(odds);
+  EXPECT_EQ(evens.count(), 10000);
+  EXPECT_DOUBLE_EQ(evens.min(), 0.0);
+  EXPECT_DOUBLE_EQ(evens.max(), 9999.0);
+  EXPECT_NEAR(evens.Quantile(0.5), 4999.5, 300.0);
+  EXPECT_NEAR(evens.Quantile(0.9), 8999.0, 300.0);
+}
+
+TEST(HistogramTest, QuantilesComeFromTheAttachedDigest) {
+  Histogram histogram({10.0});
+  for (int i = 1; i <= 50; ++i) histogram.Observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 25.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 50.0);
+  // Digest() hands out a mergeable copy sharing the same observations.
+  QuantileDigest copy = histogram.Digest();
+  EXPECT_EQ(copy.count(), 50);
+  copy.Add(1000.0);
+  EXPECT_EQ(histogram.Digest().count(), 50);  // the copy is detached
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, OpenMetricsGolden) {
+  Registry registry;
+  registry.Counter("fm.queries")->Increment(47);
+  registry.Gauge("run.estimated_p")->Set(0.82);
+  registry.Histogram("lat", {1.0, 2.0})->Observe(1.5);
+  EXPECT_EQ(ExportOpenMetrics(registry),
+            "# TYPE fm_queries counter\n"
+            "fm_queries_total 47\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{le=\"1\"} 0\n"
+            "lat_bucket{le=\"2\"} 1\n"
+            "lat_bucket{le=\"+Inf\"} 1\n"
+            "lat_sum 1.5\n"
+            "lat_count 1\n"
+            "# TYPE lat_latency summary\n"
+            "lat_latency{quantile=\"0.5\"} 1.5\n"
+            "lat_latency{quantile=\"0.9\"} 1.5\n"
+            "lat_latency{quantile=\"0.99\"} 1.5\n"
+            "# TYPE run_estimated_p gauge\n"
+            "run_estimated_p 0.82\n"
+            "# EOF\n");
+}
+
+TEST(ExportTest, TraceEventsGolden) {
+  VirtualClock clock;
+  Tracer tracer(&clock);
+  Span run_span = tracer.StartSpan("repair.run");  // tick 1, left open
+  {
+    Span batch = tracer.StartSpan("rejection.batch");  // tick 2
+    clock.AdvanceMs(10.0);
+  }  // ends at tick 3
+  EXPECT_EQ(
+      ExportTraceEvents(tracer),
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":"
+      "{\"clock\":\"virtual ticks (1 tick = 1us)\"},\"traceEvents\":[\n"
+      "{\"name\":\"repair.run\",\"cat\":\"chameleon\",\"ph\":\"B\","
+      "\"pid\":1,\"tid\":1,\"ts\":1,\"args\":{\"id\":1,\"parent\":0,"
+      "\"depth\":0,\"start_ms\":0,\"end_ms\":0}},\n"
+      "{\"name\":\"rejection.batch\",\"cat\":\"chameleon\",\"ph\":\"X\","
+      "\"pid\":1,\"tid\":1,\"ts\":2,\"dur\":1,\"args\":{\"id\":2,"
+      "\"parent\":1,\"depth\":1,\"start_ms\":0,\"end_ms\":10}}\n"
+      "]}\n");
+}
+
+TEST(ExportTest, WritersPropagateIoFailures) {
+  Registry registry;
+  registry.Counter("fm.queries")->Increment();
+  VirtualClock clock;
+  Tracer tracer(&clock);
+  EXPECT_FALSE(WriteOpenMetrics(registry, "/nonexistent-dir/m.om").ok());
+  EXPECT_FALSE(WriteTraceEvents(tracer, "/nonexistent-dir/t.json").ok());
+  const std::string path = ::testing::TempDir() + "obs_export_test.om";
+  ASSERT_TRUE(WriteOpenMetrics(registry, path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), ExportOpenMetrics(registry));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sinks
+// ---------------------------------------------------------------------------
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(JournalTest, StreamToAppendsAndFlushesPerLine) {
+  VirtualClock clock;
+  Journal journal(&clock);
+  journal.Record(JournalEvent("run.start").Set("tau", 30));
+  const std::string path = ::testing::TempDir() + "obs_stream_journal.jsonl";
+  // StreamTo catches up lines recorded before the stream was attached.
+  ASSERT_TRUE(journal.StreamTo(path).ok());
+  EXPECT_TRUE(journal.streaming());
+  EXPECT_EQ(ReadAll(path), journal.ToJsonl());
+  // Each subsequent Record lands on disk immediately (no Close needed),
+  // which is what makes journals from killed runs analyzable.
+  journal.Record(JournalEvent("fm.query").Set("target", "0,3"));
+  EXPECT_EQ(ReadAll(path), journal.ToJsonl());
+  ASSERT_TRUE(journal.CloseStream().ok());
+  EXPECT_FALSE(journal.streaming());
+  EXPECT_EQ(ReadAll(path), journal.ToJsonl());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, StreamToWhileStreamingFails) {
+  VirtualClock clock;
+  Journal journal(&clock);
+  const std::string path = ::testing::TempDir() + "obs_stream_twice.jsonl";
+  ASSERT_TRUE(journal.StreamTo(path).ok());
+  EXPECT_FALSE(journal.StreamTo(path).ok());
+  ASSERT_TRUE(journal.CloseStream().ok());
+  // After a clean close the journal can stream again.
+  ASSERT_TRUE(journal.StreamTo(path).ok());
+  ASSERT_TRUE(journal.CloseStream().ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(journal.StreamTo("/nonexistent-dir/journal.jsonl").ok());
+}
+
+TEST(TracerTest, StreamWritesSpansInCompletionOrder) {
+  VirtualClock clock;
+  Tracer tracer(&clock);
+  const std::string path = ::testing::TempDir() + "obs_stream_trace.jsonl";
+  ASSERT_TRUE(tracer.StreamTo(path).ok());
+  Span outer = tracer.StartSpan("repair.run");
+  {
+    Span inner = tracer.StartSpan("rejection.batch");
+    clock.AdvanceMs(5.0);
+  }  // inner ends first: it streams before the still-open outer span
+  const std::string after_inner = ReadAll(path);
+  EXPECT_NE(after_inner.find("rejection.batch"), std::string::npos);
+  EXPECT_EQ(after_inner.find("repair.run"), std::string::npos);
+  outer.End();
+  ASSERT_TRUE(tracer.CloseStream().ok());
+  const std::string streamed = ReadAll(path);
+  EXPECT_EQ(streamed, SpanToJson(tracer.Spans()[1]) + "\n" +
+                          SpanToJson(tracer.Spans()[0]) + "\n");
+  std::remove(path.c_str());
 }
 
 TEST(JournalTest, WriteExportsJsonlToDisk) {

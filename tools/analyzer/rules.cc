@@ -222,6 +222,11 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
       "LoadCorpus",         // fm corpus persistence
       "SaveCorpus",
       "Write",              // obs Registry/Tracer/Journal file export
+      "WriteOpenMetrics",   // obs exporters (export.h)
+      "WriteTraceEvents",
+      "WriteJson",          // bench::BenchJsonReport
+      "StreamTo",           // obs Journal/Tracer streaming sinks
+      "CloseStream",
   };
   for (const char* name : kKnownStatusApis) {
     registry->status_returning.insert(name);
@@ -234,6 +239,8 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
       "Counter",    // obs::Registry — instrument lookups
       "Gauge",
       "Histogram",
+      "ExportOpenMetrics",  // obs exporters: the string IS the result
+      "ExportTraceEvents",
   };
   for (const char* name : kKnownMustUseApis) {
     registry->must_use.insert(name);

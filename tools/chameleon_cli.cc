@@ -6,7 +6,8 @@
 //                        [--mask=accurate|moderate|imprecise]
 //                        [--alpha=0.1] [--nu=0.3] [--seed=S] [--out=DIR]
 //                        [--metrics] [--metrics-out=F] [--trace-out=F]
-//                        [--journal-out=F]
+//                        [--journal-out=F] [--openmetrics-out=F]
+//                        [--trace-json-out=F]
 //   chameleon_cli plan   --dataset=feret|utkface --tau=N
 //                        [--algorithm=greedy|mingap|random]
 //
@@ -36,6 +37,7 @@
 #include "src/fm/corpus_io.h"
 #include "src/fm/evaluator_pool.h"
 #include "src/fm/simulated_foundation_model.h"
+#include "src/obs/export.h"
 #include "src/obs/observability.h"
 #include "src/util/table_printer.h"
 
@@ -227,10 +229,51 @@ int CmdRepair(const Flags& flags) {
   const std::string metrics_out = flags.Get("metrics-out", "");
   const std::string trace_out = flags.Get("trace-out", "");
   const std::string journal_out = flags.Get("journal-out", "");
+  const std::string openmetrics_out = flags.Get("openmetrics-out", "");
+  const std::string trace_json_out = flags.Get("trace-json-out", "");
+  // Two export flags writing the same path would silently clobber one
+  // another; refuse up front.
+  const std::pair<const char*, const std::string*> out_flags[] = {
+      {"--metrics-out", &metrics_out},       {"--trace-out", &trace_out},
+      {"--journal-out", &journal_out},       {"--openmetrics-out",
+                                              &openmetrics_out},
+      {"--trace-json-out", &trace_json_out}};
+  for (size_t i = 0; i < std::size(out_flags); ++i) {
+    for (size_t j = i + 1; j < std::size(out_flags); ++j) {
+      if (!out_flags[i].second->empty() &&
+          *out_flags[i].second == *out_flags[j].second) {
+        std::fprintf(stderr, "%s and %s both point at %s\n",
+                     out_flags[i].first, out_flags[j].first,
+                     out_flags[i].second->c_str());
+        return 2;
+      }
+    }
+  }
   obs::Observability observability;
   const bool observe = flags.Has("metrics") || !metrics_out.empty() ||
-                       !trace_out.empty() || !journal_out.empty();
+                       !trace_out.empty() || !journal_out.empty() ||
+                       !openmetrics_out.empty() || !trace_json_out.empty();
   if (observe) options.observability = &observability;
+
+  // Journal and trace sinks stream append+flush per line so a killed run
+  // still leaves an analyzable prefix on disk (obsctl tolerates the
+  // ragged final line).
+  if (!journal_out.empty()) {
+    const util::Status streaming = observability.journal.StreamTo(journal_out);
+    if (!streaming.ok()) {
+      std::fprintf(stderr, "journal export failed: %s\n",
+                   streaming.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    const util::Status streaming = observability.tracer.StreamTo(trace_out);
+    if (!streaming.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   streaming.ToString().c_str());
+      return 1;
+    }
+  }
 
   fm::SimulatedFoundationModel model(loaded.corpus.dataset.schema(),
                                      loaded.style_fn, loaded.scene,
@@ -265,22 +308,42 @@ int CmdRepair(const Flags& flags) {
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
-    const util::Status written = observability.tracer.Write(trace_out);
-    if (!written.ok()) {
+    const util::Status closed = observability.tracer.CloseStream();
+    if (!closed.ok()) {
       std::fprintf(stderr, "trace export failed: %s\n",
-                   written.ToString().c_str());
+                   closed.ToString().c_str());
       return 1;
     }
     std::printf("trace written to %s\n", trace_out.c_str());
   }
   if (!journal_out.empty()) {
-    const util::Status written = observability.journal.Write(journal_out);
-    if (!written.ok()) {
+    const util::Status closed = observability.journal.CloseStream();
+    if (!closed.ok()) {
       std::fprintf(stderr, "journal export failed: %s\n",
-                   written.ToString().c_str());
+                   closed.ToString().c_str());
       return 1;
     }
     std::printf("journal written to %s\n", journal_out.c_str());
+  }
+  if (!openmetrics_out.empty()) {
+    const util::Status written =
+        obs::WriteOpenMetrics(observability.registry, openmetrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "openmetrics export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("openmetrics written to %s\n", openmetrics_out.c_str());
+  }
+  if (!trace_json_out.empty()) {
+    const util::Status written =
+        obs::WriteTraceEvents(observability.tracer, trace_json_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace json export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace json written to %s\n", trace_json_out.c_str());
   }
 
   const std::string out = flags.Get("out", "");
@@ -306,7 +369,8 @@ int Usage() {
                "         [--mask=accurate|moderate|imprecise] [--alpha=A] "
                "[--nu=V] [--out=DIR]\n"
                "         [--metrics] [--metrics-out=FILE] [--trace-out=FILE] "
-               "[--journal-out=FILE]\n");
+               "[--journal-out=FILE]\n"
+               "         [--openmetrics-out=FILE] [--trace-json-out=FILE]\n");
   return 2;
 }
 

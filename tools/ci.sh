@@ -3,11 +3,12 @@
 # configuration, plus the chameleon-lint static-analysis gate. Usage:
 #
 #   tools/ci.sh            # all jobs
-#   tools/ci.sh lint       # chameleon-lint over src/, tests/, tools/analyzer/
+#   tools/ci.sh lint       # chameleon-lint over src/, tests/, tools/
 #   tools/ci.sh asan       # Debug + AddressSanitizer + UBSan only
 #   tools/ci.sh tsan       # RelWithDebInfo + ThreadSanitizer only
 #   tools/ci.sh faults     # fault-injection/resilience suite under ASan/UBSan
 #   tools/ci.sh release    # plain Release build + tests only
+#   tools/ci.sh bench-smoke  # micro benches in smoke mode + obsctl gate
 #
 # Each job uses its own build directory (build-ci-<job>) so sanitizer
 # runtimes never mix and incremental rebuilds stay valid. All jobs build
@@ -72,8 +73,66 @@ run_lint() {
     -DCHAMELEON_WERROR=ON >/dev/null
   echo "==== [lint] build chameleon-lint ===="
   cmake --build "${dir}" -j "${PARALLEL}" --target chameleon-lint
-  echo "==== [lint] chameleon-lint src tests tools/analyzer ===="
-  "${dir}/tools/analyzer/chameleon-lint" --root=. src tests tools/analyzer
+  echo "==== [lint] chameleon-lint src tests tools/analyzer tools/obsctl ===="
+  "${dir}/tools/analyzer/chameleon-lint" --root=. src tests tools/analyzer \
+    tools/obsctl
+}
+
+# Continuous-benchmark gate: runs the smoke micro-bench set with the
+# JSON reporter, schema-validates each report with `obsctl validate`,
+# then `obsctl diff`s against the committed baselines in bench/baselines/
+# and fails on any regression beyond the threshold. A flagged regression
+# must reproduce on one fresh re-run before it fails the gate — the
+# reported ns/op is already the min over repetitions, but a sustained
+# load spike can still starve every repetition of a short case once.
+#
+#   BENCH_SMOKE_THRESHOLD    relative slowdown gate (default 0.25 = 25%)
+#   BENCH_SMOKE_REBASELINE=1 overwrite the committed baselines instead of
+#                            diffing (run on the reference machine, then
+#                            commit the refreshed bench/baselines/)
+run_bench_smoke() {
+  local dir="build-ci-bench"
+  local threshold="${BENCH_SMOKE_THRESHOLD:-0.25}"
+  local smoke_benches=(bench_micro_greedy bench_micro_linucb
+                       bench_micro_ocsvm bench_obs)
+  echo "==== [bench-smoke] configure (Release) ===="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCHAMELEON_WERROR=ON >/dev/null
+  echo "==== [bench-smoke] build obsctl + smoke benches ===="
+  cmake --build "${dir}" -j "${PARALLEL}" --target obsctl "${smoke_benches[@]}"
+  CHAMELEON_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  export CHAMELEON_GIT_SHA
+  mkdir -p "${dir}/bench-json"
+  local bench json baseline failed=0
+  for bench in "${smoke_benches[@]}"; do
+    json="${dir}/bench-json/BENCH_${bench}.json"
+    baseline="bench/baselines/BENCH_${bench}.json"
+    echo "==== [bench-smoke] ${bench} --smoke ===="
+    "${dir}/bench/${bench}" --smoke "--json=${json}" >/dev/null
+    "${dir}/tools/obsctl/obsctl" validate "${json}"
+    if [[ "${BENCH_SMOKE_REBASELINE:-0}" == "1" ]]; then
+      cp "${json}" "${baseline}"
+      echo "rebaselined ${baseline}"
+    elif [[ -f "${baseline}" ]]; then
+      echo "==== [bench-smoke] obsctl diff ${baseline} (threshold ${threshold}) ===="
+      if ! "${dir}/tools/obsctl/obsctl" diff "${baseline}" "${json}" \
+          "--threshold=${threshold}"; then
+        echo "==== [bench-smoke] ${bench} regressed; re-running to confirm ===="
+        "${dir}/bench/${bench}" --smoke "--json=${json}" >/dev/null
+        "${dir}/tools/obsctl/obsctl" validate "${json}"
+        "${dir}/tools/obsctl/obsctl" diff "${baseline}" "${json}" \
+          "--threshold=${threshold}" || failed=1
+      fi
+    else
+      echo "no baseline ${baseline}; run with BENCH_SMOKE_REBASELINE=1" >&2
+      failed=1
+    fi
+  done
+  if [[ "${failed}" != "0" ]]; then
+    echo "==== [bench-smoke] FAILED: regressions beyond ${threshold} (or missing baselines) ====" >&2
+    return 1
+  fi
 }
 
 case "${JOBS}" in
@@ -94,15 +153,19 @@ case "${JOBS}" in
   faults)
     run_faults
     ;;
+  bench-smoke)
+    run_bench_smoke
+    ;;
   all)
     run_lint
     run_job release Release ""
     run_job asan Debug "-fsanitize=address,undefined -fno-omit-frame-pointer"
     run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
     run_faults
+    run_bench_smoke
     ;;
   *)
-    echo "unknown job '${JOBS}' (expected: all | lint | release | asan | tsan | faults)" >&2
+    echo "unknown job '${JOBS}' (expected: all | lint | release | asan | tsan | faults | bench-smoke)" >&2
     exit 2
     ;;
 esac

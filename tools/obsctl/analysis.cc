@@ -1,0 +1,608 @@
+#include "tools/obsctl/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+#include "src/util/table_printer.h"
+
+namespace chameleon::obsctl {
+namespace {
+
+/// Splits `text` into non-empty lines (the trailing newline of a JSONL
+/// file yields no phantom line).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TargetStats* FindOrAddTarget(JournalStats* stats, const std::string& target) {
+  for (auto& [name, entry] : stats->targets) {
+    if (name == target) return &entry;
+  }
+  stats->targets.emplace_back(target, TargetStats{});
+  return &stats->targets.back().second;
+}
+
+std::string Percent(double fraction) {
+  return util::Fmt(100.0 * fraction, 1) + "%";
+}
+
+}  // namespace
+
+util::Result<JsonlFile> ParseJsonl(const std::string& text) {
+  JsonlFile file;
+  const std::vector<std::string> lines = SplitLines(text);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto value = ParseJson(lines[i]);
+    if (!value.ok()) {
+      if (i + 1 == lines.size()) {
+        // A ragged final line is what a killed streaming run leaves
+        // behind; drop it and analyze the intact prefix.
+        file.truncated_tail = true;
+        break;
+      }
+      return util::Status::InvalidArgument(
+          "JSONL line " + std::to_string(i + 1) +
+          " is malformed: " + value.status().message());
+    }
+    file.lines.push_back(std::move(*value));
+  }
+  return file;
+}
+
+int64_t JournalStats::TotalQueries() const {
+  int64_t total = 0;
+  for (const auto& [name, entry] : targets) total += entry.queries;
+  return total;
+}
+
+int64_t JournalStats::TotalAccepted() const {
+  int64_t total = 0;
+  for (const auto& [name, entry] : targets) total += entry.accepted;
+  return total;
+}
+
+int64_t JournalStats::TotalRejected() const {
+  int64_t total = 0;
+  for (const auto& [name, entry] : targets) total += entry.rejected();
+  return total;
+}
+
+int64_t JournalStats::TotalParked() const {
+  int64_t total = 0;
+  for (const auto& [name, entry] : targets) total += entry.parked;
+  return total;
+}
+
+int64_t JournalStats::TotalRetries() const {
+  int64_t total = 0;
+  for (const auto& [name, entry] : targets) total += entry.retries;
+  return total;
+}
+
+bool JournalStats::ContractHolds() const {
+  return TotalAccepted() + TotalRejected() == TotalQueries() - TotalParked();
+}
+
+util::Result<JournalStats> AnalyzeJournal(const std::string& jsonl_text) {
+  auto file = ParseJsonl(jsonl_text);
+  if (!file.ok()) return file.status();
+
+  JournalStats stats;
+  stats.truncated_tail = file->truncated_tail;
+  std::string current_target;  // owner of fm.retry events (see below)
+  for (const JsonValue& event : file->lines) {
+    if (!event.is_object()) {
+      return util::Status::InvalidArgument(
+          "journal line is not a JSON object");
+    }
+    const std::string type = event.StringOr("type", "");
+    if (type.empty()) {
+      return util::Status::InvalidArgument(
+          "journal line has no \"type\" field");
+    }
+    ++stats.total_events;
+    ++stats.events_by_type[type];
+
+    if (type == "run.start") {
+      stats.has_run_start = true;
+      stats.tau = event.IntOr("tau", 0);
+      stats.seed = event.IntOr("seed", 0);
+    } else if (type == "run.end") {
+      stats.has_run_end = true;
+      stats.end_queries = event.IntOr("queries", 0);
+      stats.end_accepted = event.IntOr("accepted", 0);
+      stats.end_parked = event.IntOr("parked", 0);
+      stats.fully_resolved = event.BoolOr("fully_resolved", false);
+    } else if (type == "plan.entry") {
+      FindOrAddTarget(&stats, event.StringOr("target", "?"))->planned +=
+          event.IntOr("count", 0);
+    } else if (type == "fm.query") {
+      const std::string target = event.StringOr("target", "?");
+      TargetStats* entry = FindOrAddTarget(&stats, target);
+      ++entry->queries;
+      ++stats.arms[event.IntOr("arm", -1)].pulls;
+      current_target = target;
+    } else if (type == "fm.retry") {
+      // Retries are journaled from inside the resilient client, between
+      // an fm.query event and its verdict, so they belong to the most
+      // recent query's target.
+      if (!current_target.empty()) {
+        ++FindOrAddTarget(&stats, current_target)->retries;
+      }
+    } else if (type == "fm.parked") {
+      ++FindOrAddTarget(&stats, event.StringOr("target", "?"))->parked;
+    } else if (type == "tuple.accepted") {
+      ++FindOrAddTarget(&stats, event.StringOr("target", "?"))->accepted;
+      ++stats.arms[event.IntOr("arm", -1)].accepted;
+    } else if (type == "tuple.rejected") {
+      TargetStats* entry =
+          FindOrAddTarget(&stats, event.StringOr("target", "?"));
+      const std::string reason = event.StringOr("reason", "");
+      if (reason == "quality") {
+        ++entry->rejected_quality;
+      } else if (reason == "both") {
+        ++entry->rejected_both;
+      } else {
+        ++entry->rejected_distribution;
+      }
+      ++stats.arms[event.IntOr("arm", -1)].rejected;
+    }
+    // Other event types (mup.found, fm.breaker, ...) only feed
+    // events_by_type.
+  }
+  return stats;
+}
+
+util::Result<std::vector<SpanRollup>> AnalyzeTrace(
+    const std::string& jsonl_text, bool* truncated) {
+  auto file = ParseJsonl(jsonl_text);
+  if (!file.ok()) return file.status();
+  if (truncated != nullptr) *truncated = file->truncated_tail;
+
+  std::vector<SpanRollup> rollups;
+  for (const JsonValue& span : file->lines) {
+    if (!span.is_object() || span.Find("name") == nullptr ||
+        span.Find("start_tick") == nullptr) {
+      return util::Status::InvalidArgument(
+          "trace line is not a span record");
+    }
+    const std::string name = span.StringOr("name", "?");
+    SpanRollup* rollup = nullptr;
+    for (SpanRollup& candidate : rollups) {
+      if (candidate.name == name) {
+        rollup = &candidate;
+        break;
+      }
+    }
+    if (rollup == nullptr) {
+      rollups.emplace_back();
+      rollup = &rollups.back();
+      rollup->name = name;
+      rollup->depth = static_cast<int>(span.IntOr("depth", 0));
+    }
+    rollup->depth =
+        std::min(rollup->depth, static_cast<int>(span.IntOr("depth", 0)));
+    const int64_t start = span.IntOr("start_tick", 0);
+    const int64_t end = span.IntOr("end_tick", 0);
+    if (end == 0) {
+      ++rollup->open;
+      continue;
+    }
+    ++rollup->count;
+    rollup->total_ticks += end - start;
+    rollup->ticks.Add(static_cast<double>(end - start));
+  }
+  return rollups;
+}
+
+util::Result<std::map<std::string, MetricEntry>> AnalyzeMetrics(
+    const std::string& jsonl_text) {
+  auto file = ParseJsonl(jsonl_text);
+  if (!file.ok()) return file.status();
+  std::map<std::string, MetricEntry> metrics;
+  for (const JsonValue& line : file->lines) {
+    if (!line.is_object() || line.Find("name") == nullptr ||
+        line.Find("type") == nullptr) {
+      return util::Status::InvalidArgument(
+          "metrics line is not a metric sample");
+    }
+    MetricEntry entry;
+    entry.type = line.StringOr("type", "");
+    entry.value = line.NumberOr("value", 0.0);
+    metrics[line.StringOr("name", "?")] = entry;
+  }
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+util::Result<Report> BuildReport(const ReportInput& input) {
+  auto journal = AnalyzeJournal(input.journal_text);
+  if (!journal.ok()) return journal.status();
+
+  Report report;
+  report.contract_ok = true;
+  std::string& out = report.rendered;
+  out += "== obsctl report ==\n";
+  out += "journal events: " + util::Fmt(journal->total_events);
+  if (journal->truncated_tail) {
+    out += " (truncated tail: dropped 1 incomplete line)";
+  }
+  out += "\n";
+  if (journal->has_run_start) {
+    out += "run: tau=" + util::Fmt(journal->tau) +
+           " seed=" + util::Fmt(journal->seed) + "\n";
+  }
+  const int64_t queries = journal->TotalQueries();
+  const int64_t accepted = journal->TotalAccepted();
+  const int64_t rejected = journal->TotalRejected();
+  const int64_t parked = journal->TotalParked();
+  out += "totals: queries=" + util::Fmt(queries) +
+         " evaluated=" + util::Fmt(queries - parked) +
+         " accepted=" + util::Fmt(accepted) +
+         " rejected=" + util::Fmt(rejected) +
+         " parked=" + util::Fmt(parked) +
+         " retries=" + util::Fmt(journal->TotalRetries()) + "\n";
+  if (journal->has_run_end) {
+    out += "run.end: queries=" + util::Fmt(journal->end_queries) +
+           " accepted=" + util::Fmt(journal->end_accepted) +
+           " parked_entries=" + util::Fmt(journal->end_parked) +
+           " fully_resolved=" + (journal->fully_resolved ? "yes" : "no") +
+           "\n";
+  } else {
+    out += "run.end: missing (run killed mid-way?)\n";
+  }
+
+  // Cross-checks against the registry contract. Every check that can
+  // run (given the inputs provided) must pass for contract_ok.
+  out += "\ncontract checks:\n";
+  auto check = [&](const std::string& label, int64_t lhs, int64_t rhs) {
+    const bool ok = lhs == rhs;
+    report.contract_ok = report.contract_ok && ok;
+    out += "  " + label + ": " + (ok ? "OK" : "VIOLATED") + " (" +
+           util::Fmt(lhs) + " vs " + util::Fmt(rhs) + ")\n";
+  };
+  check("accepted+rejected == queries-parked", accepted + rejected,
+        queries - parked);
+  if (journal->has_run_end) {
+    check("run.end.queries == queries-parked", journal->end_queries,
+          queries - parked);
+    check("run.end.accepted == accepted", journal->end_accepted, accepted);
+  }
+  if (!input.metrics_text.empty()) {
+    auto metrics = AnalyzeMetrics(input.metrics_text);
+    if (!metrics.ok()) return metrics.status();
+    auto metric = [&](const std::string& name) -> int64_t {
+      auto it = metrics->find(name);
+      return it == metrics->end()
+                 ? -1
+                 : static_cast<int64_t>(it->second.value);
+    };
+    check("metrics fm.queries == journal fm.query", metric("fm.queries"),
+          queries);
+    check("metrics rejection.accepted == journal accepted",
+          metric("rejection.accepted"), accepted);
+    check("metrics rejection.rejected == journal rejected",
+          metric("rejection.rejected"), rejected);
+  }
+
+  // Per-MUP (plan-entry) repair cost.
+  out += "\n== per-MUP repair cost ==\n";
+  util::TablePrinter targets({"target", "planned", "queries", "accepted",
+                              "rej.dist", "rej.qual", "rej.both", "retries",
+                              "parked"});
+  TargetStats totals;
+  for (const auto& [name, entry] : journal->targets) {
+    targets.AddRow({name, util::Fmt(entry.planned), util::Fmt(entry.queries),
+                    util::Fmt(entry.accepted),
+                    util::Fmt(entry.rejected_distribution),
+                    util::Fmt(entry.rejected_quality),
+                    util::Fmt(entry.rejected_both), util::Fmt(entry.retries),
+                    util::Fmt(entry.parked)});
+    totals.planned += entry.planned;
+    totals.queries += entry.queries;
+    totals.accepted += entry.accepted;
+    totals.rejected_distribution += entry.rejected_distribution;
+    totals.rejected_quality += entry.rejected_quality;
+    totals.rejected_both += entry.rejected_both;
+    totals.retries += entry.retries;
+    totals.parked += entry.parked;
+  }
+  targets.AddRow({"TOTAL", util::Fmt(totals.planned),
+                  util::Fmt(totals.queries), util::Fmt(totals.accepted),
+                  util::Fmt(totals.rejected_distribution),
+                  util::Fmt(totals.rejected_quality),
+                  util::Fmt(totals.rejected_both), util::Fmt(totals.retries),
+                  util::Fmt(totals.parked)});
+  out += targets.ToString();
+
+  // Per-arm pull/reward summary.
+  out += "\n== per-arm pulls/rewards ==\n";
+  util::TablePrinter arms(
+      {"arm", "pulls", "accepted", "rejected", "accept_rate"});
+  for (const auto& [arm, entry] : journal->arms) {
+    const int64_t verdicts = entry.accepted + entry.rejected;
+    arms.AddRow({util::Fmt(arm), util::Fmt(entry.pulls),
+                 util::Fmt(entry.accepted), util::Fmt(entry.rejected),
+                 verdicts == 0 ? "-"
+                               : Percent(static_cast<double>(entry.accepted) /
+                                         static_cast<double>(verdicts))});
+  }
+  out += arms.ToString();
+
+  // Span-tree latency rollup.
+  if (!input.trace_text.empty()) {
+    bool trace_truncated = false;
+    auto rollups = AnalyzeTrace(input.trace_text, &trace_truncated);
+    if (!rollups.ok()) return rollups.status();
+    out += "\n== span latency rollup (virtual ticks) ==\n";
+    if (trace_truncated) {
+      out += "(truncated tail: dropped 1 incomplete line)\n";
+    }
+    util::TablePrinter spans({"span", "count", "open", "total", "mean",
+                              "p50", "p90", "p99"});
+    for (const SpanRollup& rollup : *rollups) {
+      const std::string indent(static_cast<size_t>(rollup.depth) * 2, ' ');
+      const double mean =
+          rollup.count == 0
+              ? 0.0
+              : static_cast<double>(rollup.total_ticks) /
+                    static_cast<double>(rollup.count);
+      spans.AddRow({indent + rollup.name, util::Fmt(rollup.count),
+                    util::Fmt(rollup.open), util::Fmt(rollup.total_ticks),
+                    util::Fmt(mean, 1), util::Fmt(rollup.ticks.Quantile(0.5), 1),
+                    util::Fmt(rollup.ticks.Quantile(0.9), 1),
+                    util::Fmt(rollup.ticks.Quantile(0.99), 1)});
+    }
+    out += spans.ToString();
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------------
+
+util::Result<ArtifactKind> DetectArtifactKind(const std::string& text) {
+  const std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty()) {
+    return util::Status::InvalidArgument("empty artifact");
+  }
+  // A bench report is one multi-line JSON object; its first line alone
+  // does not parse, or parses without the telltale JSONL fields.
+  auto whole = ParseJson(text);
+  if (whole.ok() && whole->is_object() &&
+      whole->Find("schema_version") != nullptr) {
+    return ArtifactKind::kBenchJson;
+  }
+  auto first = ParseJson(lines[0]);
+  if (first.ok() && first->is_object()) {
+    if (first->Find("tick") != nullptr) return ArtifactKind::kJournalJsonl;
+    if (first->Find("value") != nullptr && first->Find("type") != nullptr) {
+      return ArtifactKind::kMetricsJsonl;
+    }
+  }
+  return util::Status::InvalidArgument(
+      "unrecognized artifact (expected bench JSON, metrics JSONL, or a run "
+      "journal)");
+}
+
+namespace {
+
+struct NamedValues {
+  std::vector<std::pair<std::string, double>> entries;  // insertion order
+
+  const double* Find(const std::string& name) const {
+    for (const auto& [key, value] : entries) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+/// Generic compare of two name→value sets. `bad_direction` +1 flags
+/// growth as a regression, -1 shrink, 0 any flagged change.
+DiffResult DiffNamedValues(const NamedValues& a, const NamedValues& b,
+                           double threshold, int bad_direction,
+                           const std::string& value_header,
+                           int value_decimals) {
+  DiffResult result;
+  util::TablePrinter table(
+      {"name", "base " + value_header, "new " + value_header, "delta",
+       "verdict"});
+  for (const auto& [name, base] : a.entries) {
+    const double* current = b.Find(name);
+    if (current == nullptr) {
+      table.AddRow({name, util::Fmt(base, value_decimals), "-", "-",
+                    "only in base"});
+      continue;
+    }
+    ++result.compared;
+    const double delta = *current - base;
+    const double relative =
+        base != 0.0 ? delta / std::fabs(base)
+                    : (delta == 0.0 ? 0.0 : (delta > 0 ? 1e9 : -1e9));
+    const bool flagged = std::fabs(relative) > threshold;
+    std::string verdict = "ok";
+    if (flagged) {
+      ++result.flagged;
+      const bool bad = bad_direction == 0 ||
+                       (bad_direction > 0 ? delta > 0 : delta < 0);
+      if (bad) {
+        ++result.regressions;
+        verdict = "REGRESSION";
+      } else {
+        verdict = "improved";
+      }
+    }
+    std::string signed_delta = Percent(relative);
+    if (delta >= 0) signed_delta.insert(0, "+");
+    table.AddRow({name, util::Fmt(base, value_decimals),
+                  util::Fmt(*current, value_decimals), signed_delta,
+                  verdict});
+  }
+  for (const auto& [name, current] : b.entries) {
+    if (a.Find(name) == nullptr) {
+      table.AddRow({name, "-", util::Fmt(current, value_decimals), "-",
+                    "only in new"});
+    }
+  }
+  result.rendered = table.ToString();
+  return result;
+}
+
+util::Result<NamedValues> BenchCaseValues(const std::string& text) {
+  CHAMELEON_RETURN_NOT_OK(ValidateBenchJson(text));
+  auto doc = ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  NamedValues values;
+  for (const JsonValue& entry : doc->Find("cases")->items) {
+    values.entries.emplace_back(entry.StringOr("name", "?"),
+                                entry.NumberOr("ns_per_op", 0.0));
+  }
+  return values;
+}
+
+util::Result<NamedValues> MetricValues(const std::string& text) {
+  auto metrics = AnalyzeMetrics(text);
+  if (!metrics.ok()) return metrics.status();
+  NamedValues values;
+  for (const auto& [name, entry] : *metrics) {
+    values.entries.emplace_back(name, entry.value);
+  }
+  return values;
+}
+
+util::Result<NamedValues> JournalEventCounts(const std::string& text) {
+  auto journal = AnalyzeJournal(text);
+  if (!journal.ok()) return journal.status();
+  NamedValues values;
+  for (const auto& [type, count] : journal->events_by_type) {
+    values.entries.emplace_back(type, static_cast<double>(count));
+  }
+  return values;
+}
+
+}  // namespace
+
+util::Result<DiffResult> DiffArtifacts(const std::string& a,
+                                       const std::string& b,
+                                       double threshold) {
+  auto kind_a = DetectArtifactKind(a);
+  if (!kind_a.ok()) return kind_a.status();
+  auto kind_b = DetectArtifactKind(b);
+  if (!kind_b.ok()) return kind_b.status();
+  if (*kind_a != *kind_b) {
+    return util::Status::InvalidArgument(
+        "cannot diff artifacts of different kinds");
+  }
+
+  DiffResult result;
+  std::string header;
+  if (*kind_a == ArtifactKind::kBenchJson) {
+    auto values_a = BenchCaseValues(a);
+    if (!values_a.ok()) return values_a.status();
+    auto values_b = BenchCaseValues(b);
+    if (!values_b.ok()) return values_b.status();
+    header = "bench ns/op";
+    result = DiffNamedValues(*values_a, *values_b, threshold,
+                             /*bad_direction=*/1, "ns/op", 1);
+  } else if (*kind_a == ArtifactKind::kMetricsJsonl) {
+    auto values_a = MetricValues(a);
+    if (!values_a.ok()) return values_a.status();
+    auto values_b = MetricValues(b);
+    if (!values_b.ok()) return values_b.status();
+    header = "metrics";
+    result = DiffNamedValues(*values_a, *values_b, threshold,
+                             /*bad_direction=*/0, "value", 3);
+  } else {
+    auto values_a = JournalEventCounts(a);
+    if (!values_a.ok()) return values_a.status();
+    auto values_b = JournalEventCounts(b);
+    if (!values_b.ok()) return values_b.status();
+    header = "journal event counts";
+    result = DiffNamedValues(*values_a, *values_b, threshold,
+                             /*bad_direction=*/0, "count", 0);
+  }
+  result.rendered =
+      "== obsctl diff (" + header + ", threshold " +
+      Percent(threshold) + ") ==\n" + result.rendered + "compared=" +
+      util::Fmt(result.compared) + " flagged=" + util::Fmt(result.flagged) +
+      " regressions=" + util::Fmt(result.regressions) + "\n";
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Bench JSON schema
+// ---------------------------------------------------------------------------
+
+util::Status ValidateBenchJson(const std::string& text) {
+  auto doc = ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return util::Status::InvalidArgument("bench report must be an object");
+  }
+  const JsonValue* version = doc->Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return util::Status::InvalidArgument("missing numeric schema_version");
+  }
+  if (static_cast<int64_t>(version->number_value) != kBenchSchemaVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported schema_version (expected " +
+        std::to_string(kBenchSchemaVersion) + ")");
+  }
+  for (const char* key : {"name", "git_sha", "build_type"}) {
+    const JsonValue* field = doc->Find(key);
+    if (field == nullptr || !field->is_string() ||
+        field->string_value.empty()) {
+      return util::Status::InvalidArgument(
+          std::string("missing or empty string field: ") + key);
+    }
+  }
+  const JsonValue* cases = doc->Find("cases");
+  if (cases == nullptr || !cases->is_array() || cases->items.empty()) {
+    return util::Status::InvalidArgument("cases must be a non-empty array");
+  }
+  for (size_t i = 0; i < cases->items.size(); ++i) {
+    const JsonValue& entry = cases->items[i];
+    const std::string where = "cases[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return util::Status::InvalidArgument(where + " is not an object");
+    }
+    const JsonValue* name = entry.Find("name");
+    if (name == nullptr || !name->is_string() || name->string_value.empty()) {
+      return util::Status::InvalidArgument(where + " has no name");
+    }
+    const JsonValue* ns = entry.Find("ns_per_op");
+    if (ns == nullptr || !ns->is_number() || ns->number_value < 0.0) {
+      return util::Status::InvalidArgument(
+          where + " needs ns_per_op >= 0");
+    }
+    if (entry.IntOr("iterations", 0) < 1) {
+      return util::Status::InvalidArgument(
+          where + " needs iterations >= 1");
+    }
+    const double p50 = entry.NumberOr("p50_ns", -1.0);
+    const double p90 = entry.NumberOr("p90_ns", -1.0);
+    const double p99 = entry.NumberOr("p99_ns", -1.0);
+    if (p50 < 0.0 || p90 < 0.0 || p99 < 0.0 || p50 > p90 || p90 > p99) {
+      return util::Status::InvalidArgument(
+          where + " needs ordered digest percentiles p50_ns <= p90_ns <= "
+                  "p99_ns");
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace chameleon::obsctl

@@ -1,0 +1,186 @@
+#ifndef CHAMELEON_TOOLS_OBSCTL_ANALYSIS_H_
+#define CHAMELEON_TOOLS_OBSCTL_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/quantile_digest.h"
+#include "src/util/status.h"
+#include "tools/obsctl/json.h"
+
+namespace chameleon::obsctl {
+
+// ---------------------------------------------------------------------------
+// JSONL parsing (shared by journal / trace / metrics inputs)
+// ---------------------------------------------------------------------------
+
+/// One JSONL artifact split into parsed lines. `truncated_tail` is true
+/// when the final line failed to parse — the signature of a run killed
+/// mid-write with the streaming sinks attached; the ragged line is
+/// dropped and analysis proceeds on the intact prefix. A parse failure
+/// on any *earlier* line is a hard error (the file is corrupt, not
+/// merely truncated).
+struct JsonlFile {
+  std::vector<JsonValue> lines;
+  bool truncated_tail = false;
+};
+
+[[nodiscard]] util::Result<JsonlFile> ParseJsonl(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Journal analysis
+// ---------------------------------------------------------------------------
+
+/// Aggregates for one plan-entry target ("per-MUP repair cost").
+struct TargetStats {
+  int64_t planned = 0;   // tuples requested by plan.entry events
+  int64_t queries = 0;   // fm.query events (parked attempts included)
+  int64_t accepted = 0;
+  int64_t rejected_distribution = 0;
+  int64_t rejected_quality = 0;
+  int64_t rejected_both = 0;
+  int64_t retries = 0;   // fm.retry events attributed to this target
+  int64_t parked = 0;    // fm.parked events
+
+  int64_t rejected() const {
+    return rejected_distribution + rejected_quality + rejected_both;
+  }
+};
+
+/// Aggregates for one bandit arm.
+struct ArmStats {
+  int64_t pulls = 0;     // fm.query events naming this arm
+  int64_t accepted = 0;  // rewards
+  int64_t rejected = 0;
+};
+
+/// Everything `obsctl report` derives from a run journal.
+struct JournalStats {
+  int64_t total_events = 0;
+  bool truncated_tail = false;
+  std::map<std::string, int64_t> events_by_type;
+
+  // run.start fields (when present).
+  bool has_run_start = false;
+  int64_t tau = 0;
+  int64_t seed = 0;
+
+  // run.end fields (absent when the run was killed mid-way).
+  bool has_run_end = false;
+  int64_t end_queries = 0;
+  int64_t end_accepted = 0;
+  int64_t end_parked = 0;
+  bool fully_resolved = false;
+
+  std::vector<std::pair<std::string, TargetStats>> targets;  // 1st-seen order
+  std::map<int64_t, ArmStats> arms;
+
+  int64_t TotalQueries() const;
+  int64_t TotalAccepted() const;
+  int64_t TotalRejected() const;
+  int64_t TotalParked() const;
+  int64_t TotalRetries() const;
+
+  /// The registry contract (DESIGN.md §9, pinned by chameleon_test):
+  /// accepted + rejected == evaluated queries == fm.query - parked.
+  bool ContractHolds() const;
+};
+
+[[nodiscard]] util::Result<JournalStats> AnalyzeJournal(
+    const std::string& jsonl_text);
+
+// ---------------------------------------------------------------------------
+// Trace analysis
+// ---------------------------------------------------------------------------
+
+/// Latency rollup for one span name: tick-duration percentiles over all
+/// completed spans with that name.
+struct SpanRollup {
+  std::string name;
+  int depth = 0;  // minimum depth the name occurs at (for tree indent)
+  int64_t count = 0;
+  int64_t open = 0;  // spans with end_tick == 0 (killed-run leftovers)
+  int64_t total_ticks = 0;
+  obs::QuantileDigest ticks;
+};
+
+/// Rollups in first-seen order; tolerates a truncated tail like the
+/// journal parser. `truncated` may be null.
+[[nodiscard]] util::Result<std::vector<SpanRollup>> AnalyzeTrace(
+    const std::string& jsonl_text, bool* truncated);
+
+// ---------------------------------------------------------------------------
+// Metrics analysis
+// ---------------------------------------------------------------------------
+
+struct MetricEntry {
+  std::string type;  // "counter" | "gauge" | "histogram"
+  double value = 0.0;
+};
+
+[[nodiscard]] util::Result<std::map<std::string, MetricEntry>>
+AnalyzeMetrics(const std::string& jsonl_text);
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+struct ReportInput {
+  std::string journal_text;  // required
+  std::string trace_text;    // optional ("" = no span rollup)
+  std::string metrics_text;  // optional ("" = no registry cross-check)
+};
+
+struct Report {
+  std::string rendered;       // the full human-readable report
+  bool contract_ok = false;   // every cross-check that could run passed
+};
+
+[[nodiscard]] util::Result<Report> BuildReport(const ReportInput& input);
+
+// ---------------------------------------------------------------------------
+// Diff / regression gate
+// ---------------------------------------------------------------------------
+
+enum class ArtifactKind { kBenchJson, kMetricsJsonl, kJournalJsonl };
+
+/// Sniffs which artifact a file is: a bench JSON report (single object
+/// with schema_version), a metrics JSONL dump, or a run journal.
+[[nodiscard]] util::Result<ArtifactKind> DetectArtifactKind(
+    const std::string& text);
+
+struct DiffResult {
+  std::string rendered;
+  int64_t compared = 0;    // entries present on both sides
+  int64_t flagged = 0;     // deltas beyond the threshold (either way)
+  int64_t regressions = 0; // flagged deltas in the bad direction
+};
+
+/// Compares two artifacts of the same kind. `threshold` is relative
+/// (0.25 = 25%). For bench reports the bad direction is ns/op growing;
+/// for metrics and journals any flagged count delta is a regression
+/// (the runs were supposed to be identical).
+[[nodiscard]] util::Result<DiffResult> DiffArtifacts(const std::string& a,
+                                                     const std::string& b,
+                                                     double threshold);
+
+// ---------------------------------------------------------------------------
+// Bench JSON schema
+// ---------------------------------------------------------------------------
+
+/// The schema version the validator and diff understand. Bump when the
+/// bench reporter's output shape changes incompatibly.
+inline constexpr int64_t kBenchSchemaVersion = 1;
+
+/// Validates a BENCH_<name>.json document: schema_version must equal
+/// kBenchSchemaVersion; `name`, `git_sha`, `build_type` strings;
+/// `cases` a non-empty array of {name, ns_per_op >= 0, iterations >= 1,
+/// p50_ns <= p90_ns <= p99_ns}.
+[[nodiscard]] util::Status ValidateBenchJson(const std::string& text);
+
+}  // namespace chameleon::obsctl
+
+#endif  // CHAMELEON_TOOLS_OBSCTL_ANALYSIS_H_

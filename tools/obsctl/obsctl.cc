@@ -1,0 +1,210 @@
+// obsctl — offline analyzer for Chameleon observability artifacts.
+//
+// Subcommands:
+//   obsctl report --journal=J.jsonl [--trace=T.jsonl] [--metrics=M.jsonl]
+//       Renders per-MUP repair cost, per-arm pull/reward summary, and a
+//       span latency rollup, and cross-checks the registry contract.
+//       Exit 0 when every contract check passes, 1 on a violation, 2 on
+//       usage or I/O errors.
+//   obsctl diff <base> <new> [--threshold=0.25]
+//       Compares two artifacts of the same kind (bench JSON, metrics
+//       JSONL, or run journals) and flags relative deltas beyond the
+//       threshold. Exit 1 when any flagged delta is in the regressing
+//       direction.
+//   obsctl validate <bench.json> [...]
+//       Schema-validates BENCH_*.json reports. Exit 1 on the first
+//       invalid file.
+//
+// All inputs tolerate a truncated final line (a run killed mid-write
+// with streaming sinks attached); corruption anywhere else is an error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "tools/obsctl/analysis.h"
+
+namespace chameleon::obsctl {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitViolation = 1;
+constexpr int kExitUsage = 2;
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  obsctl report --journal=<path> [--trace=<path>] "
+      "[--metrics=<path>]\n"
+      "  obsctl diff <base> <new> [--threshold=<fraction, default 0.25>]\n"
+      "  obsctl validate <bench.json> [...]\n");
+}
+
+util::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return util::Status::IoError("read failed for " + path);
+  }
+  return buffer.str();
+}
+
+/// Pulls `--name=value` out of args; returns true and erases it when
+/// present.
+bool TakeFlag(std::vector<std::string>* args, const std::string& name,
+              std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  for (auto it = args->begin(); it != args->end(); ++it) {
+    if (it->rfind(prefix, 0) == 0) {
+      *value = it->substr(prefix.size());
+      args->erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunReport(std::vector<std::string> args) {
+  std::string journal_path;
+  std::string trace_path;
+  std::string metrics_path;
+  if (!TakeFlag(&args, "journal", &journal_path)) {
+    std::fprintf(stderr, "obsctl report: --journal=<path> is required\n");
+    return kExitUsage;
+  }
+  TakeFlag(&args, "trace", &trace_path);
+  TakeFlag(&args, "metrics", &metrics_path);
+  if (!args.empty()) {
+    std::fprintf(stderr, "obsctl report: unknown argument: %s\n",
+                 args[0].c_str());
+    return kExitUsage;
+  }
+
+  ReportInput input;
+  auto journal = ReadFile(journal_path);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "obsctl report: %s\n",
+                 journal.status().ToString().c_str());
+    return kExitUsage;
+  }
+  input.journal_text = std::move(*journal);
+  if (!trace_path.empty()) {
+    auto trace = ReadFile(trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "obsctl report: %s\n",
+                   trace.status().ToString().c_str());
+      return kExitUsage;
+    }
+    input.trace_text = std::move(*trace);
+  }
+  if (!metrics_path.empty()) {
+    auto metrics = ReadFile(metrics_path);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "obsctl report: %s\n",
+                   metrics.status().ToString().c_str());
+      return kExitUsage;
+    }
+    input.metrics_text = std::move(*metrics);
+  }
+
+  auto report = BuildReport(input);
+  if (!report.ok()) {
+    std::fprintf(stderr, "obsctl report: %s\n",
+                 report.status().ToString().c_str());
+    return kExitUsage;
+  }
+  std::fputs(report->rendered.c_str(), stdout);
+  return report->contract_ok ? kExitOk : kExitViolation;
+}
+
+int RunDiff(std::vector<std::string> args) {
+  std::string threshold_text = "0.25";
+  TakeFlag(&args, "threshold", &threshold_text);
+  if (args.size() != 2) {
+    std::fprintf(stderr, "obsctl diff: expected exactly two paths\n");
+    return kExitUsage;
+  }
+  char* end = nullptr;
+  const double threshold = std::strtod(threshold_text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || threshold < 0.0) {
+    std::fprintf(stderr, "obsctl diff: bad --threshold: %s\n",
+                 threshold_text.c_str());
+    return kExitUsage;
+  }
+
+  auto base = ReadFile(args[0]);
+  if (!base.ok()) {
+    std::fprintf(stderr, "obsctl diff: %s\n",
+                 base.status().ToString().c_str());
+    return kExitUsage;
+  }
+  auto current = ReadFile(args[1]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "obsctl diff: %s\n",
+                 current.status().ToString().c_str());
+    return kExitUsage;
+  }
+  auto diff = DiffArtifacts(*base, *current, threshold);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "obsctl diff: %s\n",
+                 diff.status().ToString().c_str());
+    return kExitUsage;
+  }
+  std::fputs(diff->rendered.c_str(), stdout);
+  return diff->regressions == 0 ? kExitOk : kExitViolation;
+}
+
+int RunValidate(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "obsctl validate: expected at least one bench JSON path\n");
+    return kExitUsage;
+  }
+  for (const std::string& path : args) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "obsctl validate: %s\n",
+                   text.status().ToString().c_str());
+      return kExitUsage;
+    }
+    const util::Status status = ValidateBenchJson(*text);
+    if (!status.ok()) {
+      std::fprintf(stderr, "obsctl validate: %s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return kExitViolation;
+    }
+    std::printf("%s: OK\n", path.c_str());
+  }
+  return kExitOk;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return kExitUsage;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "report") return RunReport(std::move(args));
+  if (command == "diff") return RunDiff(std::move(args));
+  if (command == "validate") return RunValidate(args);
+  std::fprintf(stderr, "obsctl: unknown command: %s\n", command.c_str());
+  PrintUsage();
+  return kExitUsage;
+}
+
+}  // namespace
+}  // namespace chameleon::obsctl
+
+int main(int argc, char** argv) {
+  return chameleon::obsctl::Main(argc, argv);
+}
