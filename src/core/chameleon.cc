@@ -7,19 +7,36 @@
 #include <utility>
 
 #include "src/coverage/pattern_counter.h"
+#include "src/fm/batching.h"
 #include "src/obs/observability.h"
 #include "src/util/thread_pool.h"
 
 namespace chameleon::core {
 namespace {
 
-/// One submitted generation awaiting evaluation. Select/Generate/label
-/// draws happen serially at submission (preserving the master rng
-/// stream); Embed and the rejection tests are pure and run concurrently.
+/// One submitted request awaiting its transport result. Select runs
+/// serially at submission; generation and label draws come from two
+/// streams forked off the master rng at submission time, so neither the
+/// transport grouping nor the dispatch order can change any draw. The
+/// request's guide_values/mask pointers alias `choice`/`mask`, so the
+/// struct must stay put once enqueued — the submission vector reserves
+/// the whole round up front.
+struct PendingGeneration {
+  GuideChoice choice;
+  fm::GenerationRequest request;
+  image::Image mask;
+  util::Rng gen_rng;
+  util::Rng label_rng;
+  fm::BatchCoalescer::Slot result;
+};
+
+/// One generated candidate awaiting evaluation. Embed and the rejection
+/// tests are pure and run concurrently.
 struct PendingCandidate {
   GuideChoice choice;
   image::Image image;
   double latent_realism = 0.0;
+  int backend = -1;
   std::vector<int> quality_labels;
   // Filled by the (possibly parallel) evaluation stage.
   std::vector<double> embedding;
@@ -99,6 +116,21 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
   }
 
   obs::Observability* const obs = options_.observability;
+
+  // Transport batching (DESIGN.md §11): 0 follows rejection_batch, 1 is
+  // the legacy one-dispatch-per-query wire shape. The coalescer is
+  // force-flushed at the end of every round (evaluation needs the
+  // results), so the window/size triggers only fire mid-round.
+  const int64_t fm_batch =
+      options_.fm_batch_size > 0 ? options_.fm_batch_size : batch_limit;
+  std::optional<fm::BatchCoalescer> coalescer;
+  if (fm_batch > 1) {
+    fm::BatchCoalescerOptions coalescer_options;
+    coalescer_options.max_batch_size =
+        static_cast<int>(std::min<int64_t>(fm_batch, 4096));
+    coalescer_options.window_ms = options_.batch_window_ms;
+    coalescer.emplace(model_, coalescer_options, obs);
+  }
   std::optional<LoopInstruments> metrics;
   std::optional<obs::Span> entry_span;
   if (obs != nullptr) {
@@ -125,11 +157,12 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
     }
 
     // Submission: everything that touches the master rng or reads
-    // mutable pipeline state runs serially, in the same order the legacy
-    // loop consumed the rng stream (Embed and the rejection tests draw
-    // nothing, so labels can be pre-drawn).
-    std::vector<PendingCandidate> candidates;
-    candidates.reserve(batch);
+    // mutable pipeline state runs serially, in the same order at every
+    // transport batch size. Each request forks a generation stream and a
+    // label stream off the master rng at submission, so grouping the
+    // dispatches differently cannot change any draw (DESIGN.md §11).
+    std::vector<PendingGeneration> submissions;
+    submissions.reserve(batch);
     for (int64_t b = 0; b < batch; ++b) {
       ++attempts;
 
@@ -146,61 +179,93 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
                                 .Set("guided", choice->has_guide));
       }
 
-      fm::GenerationRequest request;
-      request.target_values = target;
-      request.prompt = fm::BuildPrompt(schema, target);
-      image::Image mask;
-      if (choice->has_guide) {
+      submissions.emplace_back();
+      PendingGeneration& sub = submissions.back();
+      sub.choice = std::move(*choice);
+      sub.request.target_values = target;
+      sub.request.prompt = fm::BuildPrompt(schema, target);
+      if (sub.choice.has_guide) {
         const data::Tuple& guide_tuple = corpus->dataset.tuple(
-            choice->tuple_index);
+            sub.choice.tuple_index);
         if (guide_tuple.payload_id < 0) {
           return util::Status::FailedPrecondition(
               "guide tuple has no image payload");
         }
+        // Stable for the round: the corpus only grows at the merge below.
         const image::Image& guide_image =
             corpus->images[guide_tuple.payload_id];
-        mask = image::GenerateMask(guide_image, options_.mask_level);
-        request.guide = &guide_image;
-        request.guide_values = &choice->guide_values;
-        request.mask = &mask;
+        sub.mask = image::GenerateMask(guide_image, options_.mask_level);
+        sub.request.guide = &guide_image;
+        sub.request.guide_values = &sub.choice.guide_values;
+        sub.request.mask = &sub.mask;
       }
+      sub.gen_rng = rng->Fork();
+      sub.label_rng = rng->Fork();
 
-      // `fm.queries` counts issued queries — incremented before the call
-      // so it equals FoundationModel::num_queries() whatever the outcome
-      // (the contract test in chameleon_test.cc pins both identities).
+      // `fm.queries` counts issued queries — incremented before the
+      // dispatch so it equals FoundationModel::num_queries() whatever the
+      // outcome (the contract test in chameleon_test.cc pins both).
       if (obs != nullptr) metrics->fm_queries->Increment();
-      auto generation = model_->Generate(request, rng);
-      if (!generation.ok()) {
-        // A transport-level failure means the model's resilience layer
-        // (retries, breaker) already did what it could: park this plan
-        // entry and let the run continue, but evaluate and merge the
-        // candidates already submitted in this batch so the accounting
-        // and the bandit state stay exactly as if the batch were shorter.
+      if (coalescer.has_value()) {
+        CHAMELEON_RETURN_NOT_OK(
+            coalescer->Enqueue(&sub.request, &sub.gen_rng, &sub.result));
+      } else {
+        sub.result = model_->Generate(sub.request, &sub.gen_rng);
+        if (!sub.result->ok()) {
+          // Legacy wire shape: stop submitting at the first transport
+          // failure; the processing loop below parks it. Terminal codes
+          // abort the run outright.
+          if (options_.park_failing_entries &&
+              fm::IsTransportError(sub.result->status().code())) {
+            break;
+          }
+          return sub.result->status();
+        }
+      }
+    }
+    if (coalescer.has_value()) CHAMELEON_RETURN_NOT_OK(coalescer->Flush());
+
+    // Transport results, in submission order. A transport failure means
+    // the model's resilience layer (retries, breaker) already did what
+    // it could: park this plan entry and let the run continue, but still
+    // evaluate and merge this round's successful candidates so the
+    // accounting and the bandit state stay exactly as if the round were
+    // smaller.
+    std::vector<PendingCandidate> candidates;
+    candidates.reserve(submissions.size());
+    for (PendingGeneration& sub : submissions) {
+      if (!sub.result.has_value()) {
+        return util::Status::Internal(
+            "generation batch left a request unanswered");
+      }
+      if (!sub.result->ok()) {
+        const util::Status& failure = sub.result->status();
         if (options_.park_failing_entries &&
-            fm::IsTransportError(generation.status().code())) {
+            fm::IsTransportError(failure.code())) {
           ++report->faults.transport_failures;
-          report->faults.parked_targets.push_back(target);
+          if (!parked) report->faults.parked_targets.push_back(target);
+          parked = true;
           if (obs != nullptr) {
             metrics->fm_parked->Increment();
             obs->journal.Record(
                 obs::JournalEvent("fm.parked")
                     .Set("target", FormatTarget(target))
-                    .Set("code",
-                         util::StatusCodeName(generation.status().code())));
+                    .Set("code", util::StatusCodeName(failure.code())));
           }
-          parked = true;
-          break;
+          continue;
         }
-        return generation.status();
+        return failure;
       }
       ++report->queries;
 
+      fm::GenerationResult generation = std::move(**sub.result);
       PendingCandidate candidate;
-      candidate.choice = std::move(*choice);
-      candidate.image = std::move(generation->image);
-      candidate.latent_realism = generation->latent_realism;
-      candidate.quality_labels =
-          sampler.DrawQualityLabels(candidate.latent_realism, rng);
+      candidate.choice = std::move(sub.choice);
+      candidate.image = std::move(generation.image);
+      candidate.latent_realism = generation.latent_realism;
+      candidate.backend = generation.backend;
+      candidate.quality_labels = sampler.DrawQualityLabels(
+          candidate.latent_realism, &sub.label_rng);
       candidates.push_back(std::move(candidate));
     }
 
@@ -226,6 +291,10 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
       report->distribution_passes += c.outcome.distribution_pass;
       report->quality_passes += c.outcome.quality_pass;
       selector->ReportReward(target, c.choice, c.outcome.Passed());
+      // Routing feedback, strictly in submission order: a learning
+      // router (BackendPool + LinUCB) must see the same update sequence
+      // at every thread count and transport batch size.
+      model_->ReportOutcome(c.backend, c.outcome.Passed());
 
       if (obs != nullptr) {
         metrics->decision_value->Observe(c.outcome.decision_value);
@@ -308,6 +377,7 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   util::Rng rng(options_.seed);
   const data::AttributeSchema& schema = corpus->dataset.schema();
   model_->OnRunStart();
+  model_->set_backend_router(options_.backend_router);
 
   obs::Observability* const obs = options_.observability;
   model_->set_observability(obs);

@@ -56,6 +56,22 @@ struct ChameleonOptions {
   /// in-order merge, so runs with different batch sizes may diverge;
   /// runs with different num_threads never do.
   int rejection_batch = 1;
+  /// Transport batch for foundation-model queries (DESIGN.md §11): how
+  /// many generation requests the BatchCoalescer groups into one
+  /// GenerateBatch dispatch. 0 (the default) follows rejection_batch;
+  /// 1 disables coalescing (every query is its own dispatch, the legacy
+  /// wire shape). Grouping is pure transport: each request owns a forked
+  /// rng stream, so accepted tuples are bit-identical at every setting.
+  int fm_batch_size = 0;
+  /// Coalescer flush window in virtual milliseconds (the coalescer's own
+  /// arrival axis, never a wall clock). A batch also flushes when it
+  /// reaches the batch size, and is force-flushed at the end of every
+  /// rejection round — results are needed before evaluation can start.
+  double batch_window_ms = 5.0;
+  /// Router policy for multi-backend models (fm::BackendPool); forwarded
+  /// to the model at the start of every run. Single-backend models
+  /// ignore it.
+  fm::BackendRouterKind backend_router = fm::BackendRouterKind::kGreedyCost;
   /// Optional observability sink (metrics, spans, run journal) — see
   /// DESIGN.md §9. Not owned; null (the default) disables instrumentation
   /// entirely: every instrumented site guards on this pointer, so the off

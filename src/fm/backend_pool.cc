@@ -1,0 +1,240 @@
+#include "src/fm/backend_pool.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/obs/observability.h"
+
+namespace chameleon::fm {
+namespace {
+
+/// Floor on the acceptance prior so a zero-acceptance profile cannot
+/// produce an infinite expected cost (it just becomes very unattractive).
+constexpr double kMinAcceptance = 1e-6;
+
+}  // namespace
+
+BackendPool::BackendPool(BackendRouterKind router) : router_kind_(router) {}
+
+void BackendPool::AddBackend(const BackendProfile& profile,
+                             FoundationModel* backend) {
+  Backend entry;
+  entry.profile = profile;
+  entry.model = backend;
+  backends_.push_back(std::move(entry));
+  ResetRouter();
+}
+
+int BackendPool::RouteIndex() const {
+  if (router_kind_ == BackendRouterKind::kLinUcb && router_ != nullptr) {
+    // Ties break to the lowest index (no rng): routing must be a pure
+    // function of router state, which only changes on the merge path.
+    return router_->SelectArm({1.0}, /*rng=*/nullptr);
+  }
+  int best = 0;
+  double best_cost = 0.0;
+  for (int i = 0; i < static_cast<int>(backends_.size()); ++i) {
+    const BackendProfile& p = backends_[i].profile;
+    const double expected_cost =
+        p.query_cost / std::max(kMinAcceptance, p.expected_acceptance);
+    if (i == 0 || expected_cost < best_cost) {
+      best = i;
+      best_cost = expected_cost;
+    }
+  }
+  return best;
+}
+
+void BackendPool::ResetRouter() {
+  if (router_kind_ == BackendRouterKind::kLinUcb && !backends_.empty()) {
+    router_ = std::make_unique<bandit::LinUcb>(
+        static_cast<int>(backends_.size()), /*context_dim=*/1, /*alpha=*/0.5);
+  } else {
+    router_.reset();
+  }
+}
+
+void BackendPool::NoteRouted(int backend) {
+  RecordQuery();
+  ++backends_[backend].routed;
+  if (observability_ != nullptr) {
+    observability_->registry
+        .Counter("fm.backend." + std::to_string(backend) + ".queries")
+        ->Increment();
+  }
+}
+
+util::Result<GenerationResult> BackendPool::Generate(
+    const GenerationRequest& request, util::Rng* rng) {
+  if (backends_.empty()) {
+    return util::Status::FailedPrecondition("BackendPool has no backends");
+  }
+  const int b = RouteIndex();
+  NoteRouted(b);
+  const BackendProfile& p = backends_[b].profile;
+  virtual_ms_ += p.base_latency_ms + p.per_query_latency_ms;
+  util::Result<GenerationResult> result =
+      backends_[b].model->Generate(request, rng);
+  if (!result.ok()) return result.status();
+  GenerationResult value = std::move(*result);
+  value.backend = b;
+  return value;
+}
+
+std::vector<util::Result<GenerationResult>> BackendPool::GenerateBatch(
+    std::span<const BatchItem> items) {
+  std::vector<util::Result<GenerationResult>> results;
+  results.reserve(items.size());
+  if (backends_.empty()) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      results.emplace_back(
+          util::Status::FailedPrecondition("BackendPool has no backends"));
+    }
+    return results;
+  }
+
+  // Route every slot first (routing is ordinal-order, not group-order).
+  std::vector<int> route(items.size(), 0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    route[i] = RouteIndex();
+    NoteRouted(route[i]);
+  }
+
+  // One sub-batch per backend, slot order preserved within each group.
+  std::vector<std::vector<size_t>> groups(backends_.size());
+  for (size_t i = 0; i < items.size(); ++i) groups[route[i]].push_back(i);
+
+  std::vector<std::optional<util::Result<GenerationResult>>> slots(
+      items.size());
+  double dispatch_ms = 0.0;
+  for (size_t b = 0; b < groups.size(); ++b) {
+    if (groups[b].empty()) continue;
+    const BackendProfile& p = backends_[b].profile;
+    dispatch_ms = std::max(
+        dispatch_ms, p.base_latency_ms +
+                         p.per_query_latency_ms *
+                             static_cast<double>(groups[b].size()));
+    std::vector<BatchItem> sub;
+    sub.reserve(groups[b].size());
+    for (const size_t slot : groups[b]) sub.push_back(items[slot]);
+    std::vector<util::Result<GenerationResult>> sub_results =
+        backends_[b].model->GenerateBatch(sub);
+    for (size_t j = 0; j < groups[b].size(); ++j) {
+      if (j >= sub_results.size()) {
+        slots[groups[b][j]] = util::Status::Internal(
+            "backend " + backends_[b].profile.name +
+            " returned a short batch");
+        continue;
+      }
+      if (sub_results[j].ok()) {
+        GenerationResult value = std::move(*sub_results[j]);
+        value.backend = static_cast<int>(b);
+        slots[groups[b][j]] = std::move(value);
+      } else {
+        slots[groups[b][j]] = sub_results[j].status();
+      }
+    }
+  }
+  if (!items.empty()) virtual_ms_ += dispatch_ms;
+
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+double BackendPool::query_cost() const {
+  if (backends_.empty()) return 0.0;
+  double cost = 0.0;
+  int64_t routed = 0;
+  for (const Backend& b : backends_) {
+    cost += b.profile.query_cost * static_cast<double>(b.routed);
+    routed += b.routed;
+  }
+  if (routed > 0) return cost / static_cast<double>(routed);
+  double mean = 0.0;
+  for (const Backend& b : backends_) mean += b.profile.query_cost;
+  return mean / static_cast<double>(backends_.size());
+}
+
+void BackendPool::ReportOutcome(int backend, bool accepted) {
+  if (backend < 0 || backend >= static_cast<int>(backends_.size())) return;
+  if (accepted) ++backends_[backend].accepted;
+  if (observability_ != nullptr && accepted) {
+    observability_->registry
+        .Counter("fm.backend." + std::to_string(backend) + ".accepted")
+        ->Increment();
+  }
+  if (router_ != nullptr) {
+    const double reward = (accepted ? 1.0 : 0.0) -
+                          backends_[backend].profile.query_cost;
+    const util::Status updated = router_->Update(backend, {1.0}, reward);
+    (void)updated;  // arm and context dim are in range by construction
+  }
+}
+
+void BackendPool::set_backend_router(BackendRouterKind kind) {
+  router_kind_ = kind;
+  ResetRouter();
+}
+
+void BackendPool::OnRunStart() {
+  ResetRouter();
+  for (Backend& b : backends_) b.model->OnRunStart();
+}
+
+void BackendPool::set_observability(obs::Observability* observability) {
+  observability_ = observability;
+  for (Backend& b : backends_) b.model->set_observability(observability);
+}
+
+SimulatedBackendPool MakeSimulatedBackendPool(
+    const data::AttributeSchema& schema, FaceStyleFn face_style_fn,
+    const image::SceneStyle& dataset_scene,
+    const SimulatedPoolOptions& options) {
+  SimulatedBackendPool out;
+  out.pool = std::make_unique<BackendPool>();
+  const int n = std::max(1, options.num_backends);
+  for (int i = 0; i < n; ++i) {
+    SimulatedFoundationModel::Options model_options;
+    model_options.image_size = options.image_size;
+    model_options.seed = options.seed + 1000ULL * static_cast<uint64_t>(i);
+    BackendProfile profile;
+    switch (i % 3) {
+      case 0:  // econ: cheap, slow per query, weaker generations.
+        profile.name = "econ-" + std::to_string(i);
+        profile.query_cost = 0.008;
+        profile.base_latency_ms = 30.0;
+        profile.per_query_latency_ms = 3.0;
+        profile.expected_acceptance = 0.35;
+        model_options.query_cost = profile.query_cost;
+        model_options.guided_base_realism = 1.08;
+        model_options.difficulty_max = 0.12;
+        break;
+      case 1:  // standard: the single-model defaults.
+        profile.name = "standard-" + std::to_string(i);
+        profile.query_cost = 0.016;
+        profile.base_latency_ms = 25.0;
+        profile.per_query_latency_ms = 2.0;
+        profile.expected_acceptance = 0.5;
+        model_options.query_cost = profile.query_cost;
+        break;
+      default:  // premium: expensive, fast, cleaner generations.
+        profile.name = "premium-" + std::to_string(i);
+        profile.query_cost = 0.032;
+        profile.base_latency_ms = 18.0;
+        profile.per_query_latency_ms = 1.2;
+        profile.expected_acceptance = 0.7;
+        model_options.query_cost = profile.query_cost;
+        model_options.guided_base_realism = 1.16;
+        model_options.difficulty_max = 0.08;
+        break;
+    }
+    out.backends.push_back(std::make_unique<SimulatedFoundationModel>(
+        schema, face_style_fn, dataset_scene, model_options));
+    out.pool->AddBackend(profile, out.backends.back().get());
+  }
+  return out;
+}
+
+}  // namespace chameleon::fm

@@ -1,0 +1,150 @@
+#ifndef CHAMELEON_FM_BACKEND_POOL_H_
+#define CHAMELEON_FM_BACKEND_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bandit/linucb.h"
+#include "src/fm/foundation_model.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/util/status.h"
+
+namespace chameleon::obs {
+struct Observability;
+}  // namespace chameleon::obs
+
+namespace chameleon::fm {
+
+/// Static description of one pool member: what a query costs, how long a
+/// dispatch takes on the pool's virtual latency axis, and the prior
+/// acceptance rate the greedy router budgets with.
+struct BackendProfile {
+  std::string name;
+  /// Monetary cost per query.
+  double query_cost = 0.016;
+  /// Virtual latency of one dispatch to this backend, regardless of size.
+  double base_latency_ms = 25.0;
+  /// Additional virtual latency per query in the dispatch — the economics
+  /// of batching: a batch of k costs base + k * per, not k * (base + per).
+  double per_query_latency_ms = 2.0;
+  /// Prior acceptance rate (greedy routes by query_cost / acceptance).
+  double expected_acceptance = 0.5;
+};
+
+/// A heterogeneous pool of foundation-model backends behind the single
+/// FoundationModel interface. Every request is routed to one backend —
+/// greedily by expected cost per accepted tuple, or by the in-tree
+/// LinUCB bandit learning per-backend acceptance from ReportOutcome
+/// feedback (ChameleonOptions::backend_router selects; DESIGN.md §11).
+///
+/// Determinism: routing is a pure function of the request ordinal and of
+/// router state, and router state only changes on the pipeline's serial
+/// merge path (ReportOutcome). Grouping requests into batches therefore
+/// never changes which backend serves which request, which is half of
+/// the bit-identity argument; the other half is the per-request RNG fork
+/// the pipeline owns. GenerateBatch preserves slot order.
+///
+/// Latency is tracked on the pool's own virtual axis (virtual_ms): a
+/// batched dispatch costs the max over the backends it touched of
+/// base + k * per. It is deliberately not mirrored into the shared
+/// obs::VirtualClock tick stream, so attaching observability never
+/// perturbs journal byte-identity.
+///
+/// Backends are not owned. Not thread-safe for mutation (AddBackend /
+/// set_backend_router); Generate/GenerateBatch are called from the
+/// pipeline's serial submission section.
+class BackendPool : public FoundationModel {
+ public:
+  explicit BackendPool(BackendRouterKind router = BackendRouterKind::kGreedyCost);
+
+  /// Registers a backend (not owned) with its profile.
+  void AddBackend(const BackendProfile& profile, FoundationModel* backend);
+
+  [[nodiscard]] util::Result<GenerationResult> Generate(
+      const GenerationRequest& request, util::Rng* rng) override;
+
+  /// Routes each item, groups per backend preserving slot order, and
+  /// dispatches one sub-batch per backend. Result i answers item i;
+  /// each result carries the serving backend's index.
+  [[nodiscard]] std::vector<util::Result<GenerationResult>> GenerateBatch(
+      std::span<const BatchItem> items) override;
+
+  /// Mean cost per routed query so far; unweighted profile mean before
+  /// any query is routed.
+  double query_cost() const override;
+
+  /// Trains the LinUCB router (reward = accepted − query cost, so a
+  /// cheap backend wins ties). No-op under the greedy router apart from
+  /// the per-backend accepted counters.
+  void ReportOutcome(int backend, bool accepted) override;
+
+  /// Switches the routing policy and resets any learned router state.
+  void set_backend_router(BackendRouterKind kind) override;
+
+  /// Forwards to every backend and resets learned router state (runs are
+  /// independent; the lattice repair loop re-learns routing per run).
+  void OnRunStart() override;
+
+  /// Attaches a sink (null detaches) and forwards it to every backend.
+  /// When set, the pool feeds `fm.backend.<i>.queries` / `.accepted`
+  /// counters — all from the serial path, so they are stable metrics.
+  void set_observability(obs::Observability* observability) override;
+
+  BackendRouterKind backend_router() const { return router_kind_; }
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+  const BackendProfile& profile(int i) const { return backends_[i].profile; }
+  /// Queries routed to backend i so far.
+  int64_t routed_queries(int i) const { return backends_[i].routed; }
+  int64_t accepted_outcomes(int i) const { return backends_[i].accepted; }
+  /// Cumulative dispatch latency on the pool's virtual axis.
+  double virtual_ms() const { return virtual_ms_; }
+
+ private:
+  struct Backend {
+    BackendProfile profile;
+    FoundationModel* model = nullptr;
+    int64_t routed = 0;
+    int64_t accepted = 0;
+  };
+
+  /// Picks the backend for the next request (see class comment).
+  int RouteIndex() const;
+  void ResetRouter();
+  void NoteRouted(int backend);
+
+  std::vector<Backend> backends_;
+  BackendRouterKind router_kind_;
+  /// Arms = backends, context = {1.0} (a plain UCB over backends);
+  /// rebuilt by ResetRouter whenever the pool or the policy changes.
+  std::unique_ptr<bandit::LinUcb> router_;
+  obs::Observability* observability_ = nullptr;
+  double virtual_ms_ = 0.0;
+};
+
+/// Options for the canned simulated pool below.
+struct SimulatedPoolOptions {
+  /// Backends cycle through three tiers: econ (cheap, slow per-batch,
+  /// low acceptance), standard (the single-model defaults), premium
+  /// (expensive, fast, high acceptance).
+  int num_backends = 3;
+  uint64_t seed = 1234;
+  int image_size = 64;
+};
+
+/// A BackendPool plus the simulated backends it routes to, with tiered
+/// latency/cost/acceptance profiles. Movable; the pool holds pointers to
+/// the heap-allocated backends.
+struct SimulatedBackendPool {
+  std::vector<std::unique_ptr<SimulatedFoundationModel>> backends;
+  std::unique_ptr<BackendPool> pool;
+};
+
+SimulatedBackendPool MakeSimulatedBackendPool(
+    const data::AttributeSchema& schema, FaceStyleFn face_style_fn,
+    const image::SceneStyle& dataset_scene, const SimulatedPoolOptions& options);
+
+}  // namespace chameleon::fm
+
+#endif  // CHAMELEON_FM_BACKEND_POOL_H_

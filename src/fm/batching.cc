@@ -1,0 +1,93 @@
+#include "src/fm/batching.h"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/obs/observability.h"
+
+namespace chameleon::fm {
+
+BatchCoalescer::BatchCoalescer(FoundationModel* model,
+                               const BatchCoalescerOptions& options,
+                               obs::Observability* observability)
+    : model_(model), options_(options), observability_(observability) {
+  options_.max_batch_size = std::max(1, options_.max_batch_size);
+  pending_.reserve(static_cast<size_t>(options_.max_batch_size));
+}
+
+util::Status BatchCoalescer::Enqueue(const GenerationRequest* request,
+                                     util::Rng* rng, Slot* slot) {
+  if (request == nullptr || rng == nullptr || slot == nullptr) {
+    return util::Status::InvalidArgument(
+        "BatchCoalescer::Enqueue: request, rng and slot are all required");
+  }
+  const double arrival_ms = now_ms_;
+  now_ms_ += options_.arrival_interval_ms;
+
+  // The window covers requests whose arrivals span less than window_ms.
+  // A new arrival past the open window dispatches the old batch first,
+  // exactly as a timer firing between the two arrivals would have.
+  if (!pending_.empty() &&
+      arrival_ms - window_open_ms_ >= options_.window_ms) {
+    CHAMELEON_RETURN_NOT_OK(FlushLocked("window"));
+  }
+  if (pending_.empty()) window_open_ms_ = arrival_ms;
+  slot->reset();
+  pending_.push_back(Pending{request, rng, slot});
+  ++stats_.enqueued;
+  if (static_cast<int>(pending_.size()) >= options_.max_batch_size) {
+    CHAMELEON_RETURN_NOT_OK(FlushLocked("size"));
+  }
+  return util::Status::Ok();
+}
+
+util::Status BatchCoalescer::Flush() {
+  if (pending_.empty()) return util::Status::Ok();
+  return FlushLocked("force");
+}
+
+util::Status BatchCoalescer::FlushLocked(const char* reason) {
+  std::vector<Pending> batch;
+  batch.swap(pending_);
+  pending_.reserve(static_cast<size_t>(options_.max_batch_size));
+
+  std::vector<BatchItem> items;
+  items.reserve(batch.size());
+  for (const Pending& p : batch) items.push_back(BatchItem{p.request, p.rng});
+
+  std::vector<util::Result<GenerationResult>> results =
+      model_->GenerateBatch(items);
+  if (results.size() != batch.size()) {
+    return util::Status::Internal(
+        "GenerateBatch returned " + std::to_string(results.size()) +
+        " results for a batch of " + std::to_string(batch.size()));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    *batch[i].slot = std::move(results[i]);
+  }
+
+  ++stats_.flushes;
+  stats_.flushed_requests += static_cast<int64_t>(batch.size());
+  stats_.max_batch =
+      std::max(stats_.max_batch, static_cast<int64_t>(batch.size()));
+  if (std::string_view(reason) == "size") ++stats_.size_flushes;
+  if (std::string_view(reason) == "window") ++stats_.window_flushes;
+  if (std::string_view(reason) == "force") ++stats_.forced_flushes;
+
+  if (observability_ != nullptr) {
+    observability_->journal.Record(obs::JournalEvent("fm.batch")
+                                       .Set("size", batch.size())
+                                       .Set("reason", reason));
+    observability_->registry.Counter("fm.batch.flushes")->Increment();
+    observability_->registry.Counter("fm.batch.requests")
+        ->Increment(static_cast<int64_t>(batch.size()));
+    observability_->registry
+        .Histogram("fm.batch.size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})
+        ->Observe(static_cast<double>(batch.size()));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace chameleon::fm

@@ -1,0 +1,104 @@
+#ifndef CHAMELEON_FM_BATCHING_H_
+#define CHAMELEON_FM_BATCHING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/fm/foundation_model.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace chameleon::obs {
+struct Observability;
+}  // namespace chameleon::obs
+
+namespace chameleon::fm {
+
+/// Tuning for the cross-request coalescer. All times are *virtual*
+/// milliseconds on the coalescer's own arrival axis (never a wall
+/// clock), so flush boundaries are a pure function of the enqueue
+/// sequence — the determinism contract depends on this.
+struct BatchCoalescerOptions {
+  /// Flush as soon as this many requests are pending.
+  int max_batch_size = 8;
+  /// Flush when the oldest pending request has waited this long on the
+  /// virtual arrival axis.
+  double window_ms = 5.0;
+  /// Virtual time between consecutive arrivals (models the pipeline's
+  /// request production rate).
+  double arrival_interval_ms = 1.0;
+};
+
+/// Counters describing what the coalescer did (cumulative).
+struct BatchCoalescerStats {
+  int64_t enqueued = 0;
+  int64_t flushes = 0;
+  int64_t flushed_requests = 0;
+  int64_t size_flushes = 0;    ///< pending hit max_batch_size
+  int64_t window_flushes = 0;  ///< oldest request aged past window_ms
+  int64_t forced_flushes = 0;  ///< explicit Flush() with work pending
+  int64_t max_batch = 0;       ///< largest single flush
+};
+
+/// Accumulates generation requests and dispatches them to the model's
+/// GenerateBatch in arrival order, flushing on whichever of the fixed
+/// virtual-clock window or the max batch size trips first. Callers hand
+/// over a result Slot per request; the slot is filled (with the result
+/// or the per-request failure) when the batch containing it flushes.
+///
+/// Grouping never reorders requests and never touches any RNG, so a
+/// pipeline that forks one RNG stream per request before enqueueing gets
+/// bit-identical results at every batch size (DESIGN.md §11).
+///
+/// Not thread-safe: the pipeline enqueues from its serial submission
+/// section only.
+class BatchCoalescer {
+ public:
+  /// Result slot for one enqueued request; empty until its batch flushes.
+  using Slot = std::optional<util::Result<GenerationResult>>;
+
+  /// `model` is not owned. `observability` may be null; when set, each
+  /// flush records an `fm.batch` journal event and feeds the
+  /// `fm.batch.*` metrics.
+  BatchCoalescer(FoundationModel* model, const BatchCoalescerOptions& options,
+                 obs::Observability* observability = nullptr);
+
+  /// Queues one request. `request` and `rng` must stay valid and `slot`
+  /// writable until the flush that covers them returns. May flush the
+  /// window's worth of *earlier* requests before queueing this one, and
+  /// flushes immediately after queueing when the size trigger trips.
+  [[nodiscard]] util::Status Enqueue(const GenerationRequest* request,
+                                     util::Rng* rng, Slot* slot);
+
+  /// Dispatches everything pending (no-op when empty). The pipeline
+  /// forces a flush at each point where it needs results before it can
+  /// continue — end of every rejection round.
+  [[nodiscard]] util::Status Flush();
+
+  const BatchCoalescerStats& stats() const { return stats_; }
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    const GenerationRequest* request = nullptr;
+    util::Rng* rng = nullptr;
+    Slot* slot = nullptr;
+  };
+
+  [[nodiscard]] util::Status FlushLocked(const char* reason);
+
+  FoundationModel* model_;
+  BatchCoalescerOptions options_;
+  obs::Observability* observability_;
+  std::vector<Pending> pending_;
+  /// Virtual arrival time of the next enqueue.
+  double now_ms_ = 0.0;
+  /// Arrival time of the oldest pending request (window anchor).
+  double window_open_ms_ = 0.0;
+  BatchCoalescerStats stats_;
+};
+
+}  // namespace chameleon::fm
+
+#endif  // CHAMELEON_FM_BATCHING_H_

@@ -21,6 +21,15 @@ std::string ImagePath(const std::string& directory, int64_t payload_id) {
   return directory + "/images/" + name;
 }
 
+// Windows tooling that touches a corpus (editing a CSV, a git checkout
+// with autocrlf) leaves \r\n line endings; std::getline only strips the
+// \n, and the strict field parsers below would then reject the last
+// field of every row. A bare \r is data, not a line ending — only the
+// trailing one is dropped.
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
 // Splits one CSV line (no quoting: the format never emits commas inside
 // fields).
 std::vector<std::string> SplitCsv(const std::string& line) {
@@ -138,6 +147,7 @@ util::Result<Corpus> LoadCorpus(const std::string& directory) {
     data::AttributeSchema schema;
     std::string line;
     while (std::getline(in, line)) {
+      StripTrailingCr(&line);
       if (line.empty()) continue;
       const auto fields = SplitCsv(line);
       if (fields.size() < 4) {
@@ -159,6 +169,7 @@ util::Result<Corpus> LoadCorpus(const std::string& directory) {
     if (in) {
       std::string line;
       while (std::getline(in, line)) {
+        StripTrailingCr(&line);
         if (line.empty()) continue;
         const auto fields = SplitCsv(line);
         int64_t row_id = 0;
@@ -196,6 +207,7 @@ util::Result<Corpus> LoadCorpus(const std::string& directory) {
     // later row must agree, so a truncated tail row cannot slip through.
     int64_t embedding_dim = -1;
     while (std::getline(in, line)) {
+      StripTrailingCr(&line);
       if (line.empty()) continue;
       const auto fields = SplitCsv(line);
       if (static_cast<int>(fields.size()) < 2 + d) {

@@ -2,6 +2,26 @@
 
 namespace chameleon::fm {
 
+const char* BackendRouterKindName(BackendRouterKind kind) {
+  switch (kind) {
+    case BackendRouterKind::kGreedyCost:
+      return "greedy";
+    case BackendRouterKind::kLinUcb:
+      return "linucb";
+  }
+  return "unknown";
+}
+
+std::vector<util::Result<GenerationResult>> FoundationModel::GenerateBatch(
+    std::span<const BatchItem> items) {
+  std::vector<util::Result<GenerationResult>> results;
+  results.reserve(items.size());
+  for (const BatchItem& item : items) {
+    results.push_back(Generate(*item.request, item.rng));
+  }
+  return results;
+}
+
 std::string BuildPrompt(const data::AttributeSchema& schema,
                         const std::vector<int>& values) {
   std::string prompt = "A realistic portrait photo of a person with ";

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,19 @@ struct GenerationResult {
   image::Image image;
   std::vector<int> values;
   double latent_realism = 1.0;
+  /// Pool backend that served the query (index into the pool), or -1 for
+  /// single-backend models. Feed it back via ReportOutcome so a learning
+  /// router can credit the right arm.
+  int backend = -1;
+};
+
+/// One slot of a batched dispatch: the request plus the private rng
+/// stream that generation may draw from. The pipeline forks one stream
+/// per request (at submission, in submission order), which is what makes
+/// the results independent of how requests are grouped into batches.
+struct BatchItem {
+  const GenerationRequest* request = nullptr;
+  util::Rng* rng = nullptr;
 };
 
 /// True for the retryable transport-level status family: the backend was
@@ -53,6 +67,18 @@ inline bool IsTransportError(util::StatusCode code) {
          code == util::StatusCode::kDeadlineExceeded ||
          code == util::StatusCode::kResourceExhausted;
 }
+
+/// How a multi-backend pool picks the backend for each request.
+enum class BackendRouterKind {
+  /// Cheapest expected cost per accepted tuple (query_cost divided by the
+  /// profile's expected acceptance), ties to the lowest index. Stateless.
+  kGreedyCost,
+  /// The in-tree LinUCB bandit over backends: learns per-backend
+  /// acceptance online from ReportOutcome feedback, minus a cost penalty.
+  kLinUcb,
+};
+
+const char* BackendRouterKindName(BackendRouterKind kind);
 
 /// Counters describing what a resilience layer absorbed. All time figures
 /// are *virtual* milliseconds (the library never reads a wall clock on
@@ -84,8 +110,32 @@ class FoundationModel {
   [[nodiscard]] virtual util::Result<GenerationResult> Generate(
       const GenerationRequest& request, util::Rng* rng) = 0;
 
+  /// Batched transport: one dispatch for `items.size()` requests. The
+  /// returned vector is slot-aligned with `items` (result i answers
+  /// request i) and always has exactly items.size() entries; per-request
+  /// failures are carried in the slot, never thrown away.
+  ///
+  /// The default loops over Generate in slot order, so decorators
+  /// (Flaky/Resilient) compose with batching unchanged: each slot sees
+  /// the same fault schedule and retry behaviour it would see as a lone
+  /// Generate call. Overrides (e.g. BackendPool) must preserve slot order
+  /// and call each item's Generate-equivalent exactly once.
+  [[nodiscard]] virtual std::vector<util::Result<GenerationResult>>
+  GenerateBatch(std::span<const BatchItem> items);
+
   /// Fixed cost v per query (monetary for hosted models).
   virtual double query_cost() const = 0;
+
+  /// Acceptance feedback for a served query, delivered by the pipeline on
+  /// its serial merge path (in submission order). `backend` is the id the
+  /// model stamped into GenerationResult::backend; models that route
+  /// (BackendPool) train their router here, everything else ignores it.
+  virtual void ReportOutcome(int /*backend*/, bool /*accepted*/) {}
+
+  /// Selects the routing policy for multi-backend models; single-backend
+  /// models ignore it. The pipeline forwards ChameleonOptions::
+  /// backend_router here at the start of each run.
+  virtual void set_backend_router(BackendRouterKind /*kind*/) {}
 
   /// Called by the pipeline at the start of each repair run. Resilience
   /// decorators reset per-run state (e.g. the virtual run deadline) here;

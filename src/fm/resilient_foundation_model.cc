@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -114,9 +115,21 @@ util::Result<GenerationResult> ResilientFoundationModel::Generate(
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       *rng = checkpoint;
-      double backoff =
-          options_.backoff_base_ms *
-          std::pow(options_.backoff_multiplier, attempt - 2);
+      // Cap the exponent before exponentiating: a huge attempt budget
+      // must saturate at backoff_max_ms, not overflow. The uncapped
+      // form shifted/compounded by (attempt - 2) directly, which for
+      // attempt budgets in the thousands overflows any integer fast
+      // path (UB) and sends std::pow to inf before the max applies.
+      const int exponent = std::min(attempt - 2, 62);
+      double backoff;
+      if (options_.backoff_multiplier == 2.0) {
+        // Exact power-of-two fast path, now safe: exponent <= 62.
+        backoff = options_.backoff_base_ms *
+                  static_cast<double>(uint64_t{1} << exponent);
+      } else {
+        backoff = options_.backoff_base_ms *
+                  std::pow(options_.backoff_multiplier, exponent);
+      }
       backoff = std::min(backoff, options_.backoff_max_ms);
       backoff *= 1.0 + options_.jitter_fraction *
                            (2.0 * jitter_rng_.NextDouble() - 1.0);

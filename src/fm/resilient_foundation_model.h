@@ -97,6 +97,17 @@ class ResilientFoundationModel : public FoundationModel {
   /// journal stays deterministic.
   void set_observability(obs::Observability* observability) override {
     observability_ = observability;
+    wrapped_->set_observability(observability);
+  }
+
+  /// Routing hooks pass straight through: a BackendPool may sit at the
+  /// bottom of the decorator stack, and outcome feedback / policy
+  /// selection must reach it.
+  void ReportOutcome(int backend, bool accepted) override {
+    wrapped_->ReportOutcome(backend, accepted);
+  }
+  void set_backend_router(BackendRouterKind kind) override {
+    wrapped_->set_backend_router(kind);
   }
 
  private:

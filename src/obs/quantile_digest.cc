@@ -35,6 +35,14 @@ void QuantileDigest::Add(double value) {
 }
 
 void QuantileDigest::Merge(const QuantileDigest& other) {
+  if (&other == this) {
+    // Self-merge: the insert below would read other.centroids_ while
+    // growing centroids_ — iterator invalidation on the same vector.
+    // Doubling via a snapshot is the behaviour a caller could expect.
+    const QuantileDigest copy = other;
+    Merge(copy);
+    return;
+  }
   other.Compress();
   if (other.count_ == 0) return;
   if (count_ == 0) {

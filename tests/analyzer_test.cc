@@ -234,6 +234,45 @@ void Caller(Legacy* legacy) {
   EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
 }
 
+TEST(StatusDisciplineTest, SeededBatchingApisAreFlagged) {
+  // The batched-transport surface: BatchCoalescer::Enqueue/Flush return
+  // Status (a dropped Flush status silently loses a whole batch's
+  // failures) and GenerateBatch's return vector is must-use (dropping it
+  // loses every slot's answer at once).
+  const std::string source = R"(
+void Dispatch(fm::BatchCoalescer* coalescer, fm::FoundationModel* model,
+              std::span<const fm::BatchItem> items) {
+  coalescer->Flush();
+  model->GenerateBatch(items);
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 2);
+  EXPECT_TRUE(registry.IsMustUse("GenerateBatch"));
+}
+
+TEST(StatusDisciplineTest, ConsumedBatchingCallsAreClean) {
+  const std::string source = R"(
+util::Status Dispatch(fm::BatchCoalescer* coalescer,
+                      fm::FoundationModel* model,
+                      std::span<const fm::BatchItem> items) {
+  auto results = model->GenerateBatch(items);
+  CHAMELEON_RETURN_NOT_OK(coalescer->Enqueue(&request, &rng, &slot));
+  return coalescer->Flush();
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
 TEST(StatusDisciplineTest, SeededObsMustUseApisAreFlagged) {
   // The observability layer's handle-returning surface (Tracer::StartSpan,
   // Registry::Counter/Gauge/Histogram) is seeded as must-use: discarding

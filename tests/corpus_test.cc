@@ -1,9 +1,17 @@
 // Tests for the fm::Corpus container (tuple/payload wiring and the
-// helper views the pipeline depends on).
+// helper views the pipeline depends on), plus LoadCorpus's tolerance of
+// Windows-style line endings vs. genuinely corrupt files.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
 
 #include "gtest/gtest.h"
 #include "src/datasets/feret.h"
 #include "src/fm/corpus.h"
+#include "src/fm/corpus_io.h"
+#include "src/util/rng.h"
 
 namespace chameleon::fm {
 namespace {
@@ -71,6 +79,112 @@ TEST(CorpusTest, EmbeddingsViewSkipsMissing) {
   const auto embeddings = corpus.Embeddings();
   ASSERT_EQ(embeddings.size(), 1u);
   EXPECT_EQ(embeddings[0], (std::vector<double>{1.0, 2.0}));
+}
+
+// ---------------------------------------------------------------------------
+// LoadCorpus line endings: a corpus that passed through Windows tooling
+// (CRLF line endings, possibly no trailing newline) is merely reformatted,
+// not corrupt — it must load byte-for-byte identically. Actual corruption
+// must still surface kIoError.
+// ---------------------------------------------------------------------------
+
+class CorpusLineEndingTest : public ::testing::Test {
+ protected:
+  /// Saves a small valid FERET-schema corpus (with images) into a fresh
+  /// directory named after the running test, and returns the directory.
+  std::string SaveSmallCorpus() {
+    Corpus corpus;
+    corpus.dataset = data::Dataset(datasets::FeretSchema());
+    util::Rng rng(11);
+    for (int i = 0; i < 4; ++i) {
+      data::Tuple tuple;
+      tuple.values = {i % 2, i % 5};
+      tuple.embedding = {rng.NextDouble(), rng.NextDouble()};
+      image::Image img(4, 4, 3, static_cast<uint8_t>(30 * i));
+      EXPECT_TRUE(corpus.Add(std::move(tuple), std::move(img), 0.9).ok());
+    }
+    const std::string dir =
+        ::testing::TempDir() + "/lineend_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    EXPECT_TRUE(SaveCorpus(corpus, dir).ok());
+    return dir;
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  static void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    EXPECT_TRUE(out.good()) << path;
+    out << content;
+  }
+
+  /// Rewrites one CSV with \r\n line endings (LF already in place → CRLF).
+  static void ConvertToCrlf(const std::string& path) {
+    const std::string text = ReadFile(path);
+    std::string crlf;
+    crlf.reserve(text.size() + text.size() / 8);
+    for (const char c : text) {
+      if (c == '\n') crlf += '\r';
+      crlf += c;
+    }
+    WriteFile(path, crlf);
+  }
+};
+
+TEST_F(CorpusLineEndingTest, CrlfCorpusLoadsIdentically) {
+  const std::string dir = SaveSmallCorpus();
+  const auto baseline = LoadCorpus(dir);
+  ASSERT_TRUE(baseline.ok());
+
+  for (const char* file : {"/schema.csv", "/tuples.csv", "/realism.csv"}) {
+    ConvertToCrlf(dir + file);
+  }
+  const auto loaded = LoadCorpus(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->dataset.size(), baseline->dataset.size());
+  for (size_t i = 0; i < baseline->dataset.size(); ++i) {
+    EXPECT_EQ(loaded->dataset.tuple(i).values,
+              baseline->dataset.tuple(i).values);
+    EXPECT_EQ(loaded->dataset.tuple(i).embedding,
+              baseline->dataset.tuple(i).embedding);
+  }
+  EXPECT_EQ(loaded->realism, baseline->realism);
+}
+
+TEST_F(CorpusLineEndingTest, MissingTrailingNewlineLoads) {
+  const std::string dir = SaveSmallCorpus();
+  std::string tuples = ReadFile(dir + "/tuples.csv");
+  ASSERT_FALSE(tuples.empty());
+  ASSERT_EQ(tuples.back(), '\n');
+  tuples.pop_back();
+  WriteFile(dir + "/tuples.csv", tuples);
+
+  const auto loaded = LoadCorpus(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dataset.size(), 4u);
+}
+
+TEST_F(CorpusLineEndingTest, CrlfDoesNotMaskRealCorruption) {
+  // The tolerance is for line endings only: a CRLF file with a mangled
+  // numeric field is corrupt and must still be rejected loudly.
+  const std::string dir = SaveSmallCorpus();
+  ConvertToCrlf(dir + "/tuples.csv");
+  std::string tuples = ReadFile(dir + "/tuples.csv");
+  const auto comma = tuples.find(',');
+  ASSERT_NE(comma, std::string::npos);
+  tuples.replace(0, comma, "abc");  // payload_id is not a number any more
+  WriteFile(dir + "/tuples.csv", tuples);
+
+  const auto loaded = LoadCorpus(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError)
+      << loaded.status().ToString();
 }
 
 }  // namespace

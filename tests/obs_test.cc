@@ -408,6 +408,69 @@ TEST(QuantileDigestTest, MergeCoversBothStreams) {
   EXPECT_NEAR(evens.Quantile(0.9), 8999.0, 300.0);
 }
 
+TEST(QuantileDigestTest, MergingEmptyIntoEmptyStaysEmpty) {
+  QuantileDigest a;
+  const QuantileDigest b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.num_centroids(), 0u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileDigestTest, MergingEmptyIntoPopulatedIsANoOp) {
+  // A zero-observation digest carries no data — merging it in must not
+  // disturb the min/max anchors, the count, or any centroid weight.
+  QuantileDigest populated;
+  for (int i = 1; i <= 200; ++i) populated.Add(static_cast<double>(i));
+  const size_t centroids_before = populated.num_centroids();
+  const std::vector<double> quantiles_before = {
+      populated.Quantile(0.0), populated.Quantile(0.25),
+      populated.Quantile(0.5), populated.Quantile(0.9),
+      populated.Quantile(1.0)};
+
+  const QuantileDigest empty;
+  populated.Merge(empty);
+
+  EXPECT_EQ(populated.count(), 200);
+  EXPECT_DOUBLE_EQ(populated.min(), 1.0);
+  EXPECT_DOUBLE_EQ(populated.max(), 200.0);
+  EXPECT_EQ(populated.num_centroids(), centroids_before);
+  const std::vector<double> quantiles_after = {
+      populated.Quantile(0.0), populated.Quantile(0.25),
+      populated.Quantile(0.5), populated.Quantile(0.9),
+      populated.Quantile(1.0)};
+  EXPECT_EQ(quantiles_after, quantiles_before);
+}
+
+TEST(QuantileDigestTest, MergingPopulatedIntoEmptyAdoptsIt) {
+  QuantileDigest empty;
+  QuantileDigest populated;
+  for (int i = 1; i <= 200; ++i) populated.Add(static_cast<double>(i));
+  empty.Merge(populated);
+  EXPECT_EQ(empty.count(), 200);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 200.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), populated.Quantile(0.5));
+}
+
+TEST(QuantileDigestTest, SelfMergeDoublesWithoutCorruption) {
+  // d.Merge(d) used to insert the digest's own centroid vector into
+  // itself — iterator invalidation once the vector reallocates. It must
+  // behave like merging an identical snapshot: count doubles, anchors
+  // and quantiles stay put.
+  QuantileDigest digest;
+  for (int i = 1; i <= 1000; ++i) {
+    digest.Add(static_cast<double>((i * 37) % 1000));
+  }
+  const double p50_before = digest.Quantile(0.5);
+  digest.Merge(digest);
+  EXPECT_EQ(digest.count(), 2000);
+  EXPECT_DOUBLE_EQ(digest.min(), 0.0);
+  EXPECT_DOUBLE_EQ(digest.max(), 999.0);
+  EXPECT_LE(digest.num_centroids(), QuantileDigest::kDefaultMaxCentroids);
+  EXPECT_NEAR(digest.Quantile(0.5), p50_before, 50.0);
+}
+
 TEST(HistogramTest, QuantilesComeFromTheAttachedDigest) {
   Histogram histogram({10.0});
   for (int i = 1; i <= 50; ++i) histogram.Observe(static_cast<double>(i));
@@ -667,8 +730,8 @@ TEST(ObsPipelineTest, JournalHasWellFormedEventStructure) {
 
   const std::vector<std::string> known = {
       "run.start", "mup.found", "plan.entry",     "fm.query",
-      "fm.retry",  "fm.parked", "fm.breaker",     "run.end",
-      "tuple.accepted",         "tuple.rejected"};
+      "fm.retry",  "fm.parked", "fm.breaker",     "fm.batch",
+      "run.end",   "tuple.accepted",              "tuple.rejected"};
   std::map<std::string, int> seen;
   for (const std::string& line : lines) {
     const std::string type = type_of(line);

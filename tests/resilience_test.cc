@@ -2,6 +2,7 @@
 // resilient retry/backoff/circuit-breaker decorator, and graceful
 // degradation of the full repair pipeline under injected faults.
 
+#include <cmath>
 #include <deque>
 #include <thread>
 #include <vector>
@@ -117,6 +118,37 @@ TEST(ResilientModelTest, TerminalErrorsAreNotRetried) {
   EXPECT_EQ(model.fault_telemetry()->retries, 0);
   EXPECT_EQ(model.fault_telemetry()->failed_queries, 1);
   EXPECT_EQ(model.breaker_state(), BreakerState::kClosed);
+}
+
+TEST(ResilientModelTest, BackoffExponentIsCappedAtHugeAttemptBudgets) {
+  // Regression: the backoff exponent is capped before exponentiation, so
+  // a multi-thousand attempt budget saturates at backoff_max_ms instead
+  // of overflowing the power-of-two fast path (a shift by >= 64 is UB)
+  // or blowing std::pow out to infinity before the max applies.
+  ScriptedModel backend({});
+  FlakyOptions flaky_options;
+  flaky_options.fail_from_query = 0;  // the backend is dead from call one
+  FlakyFoundationModel flaky(&backend, flaky_options);
+
+  ResilienceOptions options;
+  options.max_attempts = 5000;
+  options.breaker_failure_threshold = 1 << 30;  // retry the full budget
+  ResilientFoundationModel model(&flaky, options);
+
+  util::Rng rng(7);
+  auto result = model.Generate(SimpleRequest(), &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+
+  const FaultTelemetry& t = *model.fault_telemetry();
+  EXPECT_EQ(t.attempts, 5000);
+  EXPECT_EQ(t.retries, 4999);
+  EXPECT_GT(t.backoff_ms, 0.0);
+  ASSERT_TRUE(std::isfinite(t.backoff_ms));
+  // Every retry's delay saturates at backoff_max_ms, scaled by at most
+  // the full upward jitter.
+  EXPECT_LE(t.backoff_ms, 4999.0 * options.backoff_max_ms *
+                              (1.0 + options.jitter_fraction));
 }
 
 TEST(ResilientModelTest, ExhaustedBudgetSurfacesLastFailure) {

@@ -217,6 +217,9 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
       "Generate",           // FoundationModel + Flaky/Resilient decorators
       "GenerateAccepted",   // core::Chameleon
       "RepairMinLevelMups", // core::Chameleon
+      "Enqueue",            // fm::BatchCoalescer
+      "Flush",              // fm::BatchCoalescer — a dropped flush status
+                            // silently loses the whole batch's failures
       "FromDataset",        // coverage::PatternCounter
       "AddTuple",           // coverage::PatternCounter
       "LoadCorpus",         // fm corpus persistence
@@ -235,6 +238,8 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
   // is the whole point of the call, so a discarded call is a bug even
   // though the return type is not Status/Result.
   static const char* const kKnownMustUseApis[] = {
+      "GenerateBatch",  // fm — dropping the results loses every slot's
+                        // answer (and any per-request failures) at once
       "StartSpan",  // obs::Tracer — discarding the Span ends it immediately
       "Counter",    // obs::Registry — instrument lookups
       "Gauge",

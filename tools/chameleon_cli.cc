@@ -5,6 +5,9 @@
 //                        [--strategy=linucb|similar|random|noguide]
 //                        [--mask=accurate|moderate|imprecise]
 //                        [--alpha=0.1] [--nu=0.3] [--seed=S] [--out=DIR]
+//                        [--rejection-batch=N] [--batch-size=N]
+//                        [--batch-window=MS] [--backends=N]
+//                        [--router=greedy|linucb]
 //                        [--metrics] [--metrics-out=F] [--trace-out=F]
 //                        [--journal-out=F] [--openmetrics-out=F]
 //                        [--trace-json-out=F]
@@ -34,8 +37,10 @@
 #include "src/datasets/feret.h"
 #include "src/datasets/utkface.h"
 #include "src/embedding/simulated_embedder.h"
+#include "src/fm/backend_pool.h"
 #include "src/fm/corpus_io.h"
 #include "src/fm/evaluator_pool.h"
+#include "src/fm/foundation_model.h"
 #include "src/fm/simulated_foundation_model.h"
 #include "src/obs/export.h"
 #include "src/obs/observability.h"
@@ -226,6 +231,28 @@ int CmdRepair(const Flags& flags) {
     return 1;
   }
 
+  // Batched transport and the multi-backend pool (DESIGN.md §11). The
+  // transport batch can never exceed the rejection round, so raising
+  // --batch-size usually wants --rejection-batch raised with it.
+  options.rejection_batch = static_cast<int>(
+      flags.GetInt("rejection-batch", options.rejection_batch));
+  options.fm_batch_size = static_cast<int>(flags.GetInt("batch-size", 0));
+  options.batch_window_ms = flags.GetDouble("batch-window", 5.0);
+  const std::string router = flags.Get("router", "greedy");
+  if (router == "greedy") {
+    options.backend_router = fm::BackendRouterKind::kGreedyCost;
+  } else if (router == "linucb") {
+    options.backend_router = fm::BackendRouterKind::kLinUcb;
+  } else {
+    std::fprintf(stderr, "unknown --router=%s\n", router.c_str());
+    return 1;
+  }
+  const int num_backends = static_cast<int>(flags.GetInt("backends", 1));
+  if (num_backends < 1) {
+    std::fprintf(stderr, "--backends must be >= 1\n");
+    return 1;
+  }
+
   const std::string metrics_out = flags.Get("metrics-out", "");
   const std::string trace_out = flags.Get("trace-out", "");
   const std::string journal_out = flags.Get("journal-out", "");
@@ -278,8 +305,18 @@ int CmdRepair(const Flags& flags) {
   fm::SimulatedFoundationModel model(loaded.corpus.dataset.schema(),
                                      loaded.style_fn, loaded.scene,
                                      fm::SimulatedFoundationModel::Options());
+  fm::SimulatedBackendPool pool;
+  fm::FoundationModel* fm_model = &model;
+  if (num_backends > 1) {
+    fm::SimulatedPoolOptions pool_options;
+    pool_options.num_backends = num_backends;
+    pool = fm::MakeSimulatedBackendPool(loaded.corpus.dataset.schema(),
+                                        loaded.style_fn, loaded.scene,
+                                        pool_options);
+    fm_model = pool.pool.get();
+  }
   const fm::EvaluatorPool evaluators(flags.GetInt("evaluator_seed", 2024));
-  core::Chameleon system(&model, &embedder, &evaluators, options);
+  core::Chameleon system(fm_model, &embedder, &evaluators, options);
   auto report = system.RepairMinLevelMups(&loaded.corpus);
   if (!report.ok()) {
     std::fprintf(stderr, "repair failed: %s\n",
@@ -294,6 +331,16 @@ int CmdRepair(const Flags& flags) {
               static_cast<long long>(report->accepted),
               100.0 * report->AcceptanceRate(), report->estimated_p,
               report->total_cost, report->fully_resolved ? "yes" : "no");
+
+  if (num_backends > 1) {
+    std::printf("backend routing (%s):",
+                fm::BackendRouterKindName(options.backend_router));
+    for (int b = 0; b < pool.pool->num_backends(); ++b) {
+      std::printf(" %s=%lld", pool.pool->profile(b).name.c_str(),
+                  static_cast<long long>(pool.pool->routed_queries(b)));
+    }
+    std::printf("\n");
+  }
 
   if (flags.Has("metrics")) {
     std::printf("%s", observability.registry.ToTable().ToString().c_str());
@@ -368,6 +415,9 @@ int Usage() {
                "random|noguide]\n"
                "         [--mask=accurate|moderate|imprecise] [--alpha=A] "
                "[--nu=V] [--out=DIR]\n"
+               "         [--rejection-batch=N] [--batch-size=N] "
+               "[--batch-window=MS]\n"
+               "         [--backends=N] [--router=greedy|linucb]\n"
                "         [--metrics] [--metrics-out=FILE] [--trace-out=FILE] "
                "[--journal-out=FILE]\n"
                "         [--openmetrics-out=FILE] [--trace-json-out=FILE]\n");

@@ -94,7 +94,7 @@ run_bench_smoke() {
   local dir="build-ci-bench"
   local threshold="${BENCH_SMOKE_THRESHOLD:-0.25}"
   local smoke_benches=(bench_micro_greedy bench_micro_linucb
-                       bench_micro_ocsvm bench_obs)
+                       bench_micro_ocsvm bench_obs bench_batching)
   echo "==== [bench-smoke] configure (Release) ===="
   cmake -B "${dir}" -S . \
     -DCMAKE_BUILD_TYPE=Release \

@@ -468,8 +468,15 @@ util::Result<NamedValues> BenchCaseValues(const std::string& text) {
   if (!doc.ok()) return doc.status();
   NamedValues values;
   for (const JsonValue& entry : doc->Find("cases")->items) {
-    values.entries.emplace_back(entry.StringOr("name", "?"),
-                                entry.NumberOr("ns_per_op", 0.0));
+    // Sub-microsecond cases are where scheduler noise on a loaded
+    // 1-vCPU host dwarfs the measurement: even the min-over-repetitions
+    // ns_per_op flakes there. Gate those on the repetition median
+    // (p50_ns, present in every schema-v1 report) instead; above 1 µs
+    // the min remains the least-noisy estimator.
+    const double ns_per_op = entry.NumberOr("ns_per_op", 0.0);
+    const double gated =
+        ns_per_op < 1000.0 ? entry.NumberOr("p50_ns", ns_per_op) : ns_per_op;
+    values.entries.emplace_back(entry.StringOr("name", "?"), gated);
   }
   return values;
 }
