@@ -54,9 +54,11 @@ std::string FormatTarget(const std::vector<int>& target) {
 }
 
 /// Instrument handles for the generate→reject loop, resolved once per
-/// GenerateAccepted call (Registry lookups are mutex-guarded; the loop
-/// itself must only pay atomic increments). All null when observability
-/// is off.
+/// GenerateAccepted call (Registry lookups are mutex-guarded — its
+/// instrument maps carry CHAMELEON_GUARDED_BY(mutex_), enforced by
+/// chameleon-lint's lock-discipline rule; the loop itself must only pay
+/// atomic increments on the returned handles). All null when
+/// observability is off.
 struct LoopInstruments {
   obs::Counter* fm_queries = nullptr;
   obs::Counter* fm_parked = nullptr;

@@ -54,7 +54,11 @@ struct BackendProfile {
 ///
 /// Backends are not owned. Not thread-safe for mutation (AddBackend /
 /// set_backend_router); Generate/GenerateBatch are called from the
-/// pipeline's serial submission section.
+/// pipeline's serial submission section. No member carries
+/// CHAMELEON_GUARDED_BY because there is no mutex here by design — if
+/// the ROADMAP's daemon mode ever makes this concurrent, the new mutex's
+/// members must be annotated so chameleon-lint's lock-discipline rule
+/// covers them (DESIGN.md "Cross-TU analysis").
 class BackendPool : public FoundationModel {
  public:
   explicit BackendPool(BackendRouterKind router = BackendRouterKind::kGreedyCost);

@@ -52,7 +52,11 @@ struct BatchCoalescerStats {
 /// bit-identical results at every batch size (DESIGN.md §11).
 ///
 /// Not thread-safe: the pipeline enqueues from its serial submission
-/// section only.
+/// section only. Accordingly no member is CHAMELEON_GUARDED_BY-annotated
+/// — there is no mutex whose discipline chameleon-lint could check; the
+/// serial-path claim above is the whole synchronization story. Adding a
+/// mutex here means annotating every member it guards (DESIGN.md
+/// "Cross-TU analysis").
 class BatchCoalescer {
  public:
   /// Result slot for one enqueued request; empty until its batch flushes.

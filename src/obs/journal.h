@@ -11,6 +11,7 @@
 
 #include "src/obs/virtual_clock.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace chameleon::obs {
 
@@ -86,9 +87,9 @@ class Journal {
  private:
   VirtualClock* clock_;
   mutable std::mutex mutex_;
-  std::vector<std::string> lines_;
-  std::unique_ptr<std::ofstream> stream_;
-  std::string stream_path_;
+  std::vector<std::string> lines_ CHAMELEON_GUARDED_BY(mutex_);
+  std::unique_ptr<std::ofstream> stream_ CHAMELEON_GUARDED_BY(mutex_);
+  std::string stream_path_ CHAMELEON_GUARDED_BY(mutex_);
 };
 
 /// JSON string escaping (quotes, backslashes, control characters).

@@ -12,6 +12,7 @@
 #include "src/obs/quantile_digest.h"
 #include "src/util/status.h"
 #include "src/util/table_printer.h"
+#include "src/util/thread_annotations.h"
 
 namespace chameleon::obs {
 
@@ -86,7 +87,7 @@ class Histogram {
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   mutable std::mutex digest_mutex_;
-  QuantileDigest digest_;
+  QuantileDigest digest_ CHAMELEON_GUARDED_BY(digest_mutex_);
 };
 
 /// One exported metric, flattened for table/JSON rendering.
@@ -133,9 +134,12 @@ class Registry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<obs::Counter>> counters_;
-  std::map<std::string, std::unique_ptr<obs::Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<obs::Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<obs::Counter>> counters_
+      CHAMELEON_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<obs::Gauge>> gauges_
+      CHAMELEON_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<obs::Histogram>> histograms_
+      CHAMELEON_GUARDED_BY(mutex_);
 };
 
 /// The determinism contract (DESIGN.md §9): a stable metric must be

@@ -26,8 +26,11 @@ namespace chameleon::obs {
 /// is at most `max_centroids`, every value is its own centroid and
 /// quantiles are exact (linearly interpolated order statistics).
 ///
-/// Single-writer structure: callers serialize access themselves
-/// (obs::Histogram wraps one in a mutex).
+/// Single-writer structure: callers serialize access themselves — the
+/// lock lives in the *owner*, which is also where the
+/// CHAMELEON_GUARDED_BY annotation goes (obs::Histogram declares its
+/// digest member guarded by digest_mutex_; chameleon-lint checks that
+/// discipline there, not here).
 class QuantileDigest {
  public:
   explicit QuantileDigest(int max_centroids = kDefaultMaxCentroids);

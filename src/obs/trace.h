@@ -10,6 +10,7 @@
 
 #include "src/obs/virtual_clock.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace chameleon::obs {
 
@@ -103,10 +104,12 @@ class Tracer {
 
   VirtualClock* clock_;
   mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;  // index = id - 1
-  std::vector<int64_t> stack_;     // ids of open spans, outermost first
-  std::unique_ptr<std::ofstream> stream_;
-  std::string stream_path_;
+  // index = id - 1
+  std::vector<SpanRecord> spans_ CHAMELEON_GUARDED_BY(mutex_);
+  // ids of open spans, outermost first
+  std::vector<int64_t> stack_ CHAMELEON_GUARDED_BY(mutex_);
+  std::unique_ptr<std::ofstream> stream_ CHAMELEON_GUARDED_BY(mutex_);
+  std::string stream_path_ CHAMELEON_GUARDED_BY(mutex_);
 };
 
 /// The single-line JSONL rendering shared by Write and StreamTo.

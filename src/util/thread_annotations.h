@@ -1,0 +1,22 @@
+#ifndef CHAMELEON_UTIL_THREAD_ANNOTATIONS_H_
+#define CHAMELEON_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Thread-safety annotations understood by chameleon-lint's cross-TU
+/// pass (DESIGN.md "Cross-TU analysis"). They expand to nothing for the
+/// compiler; the analyzer reads them lexically, so no include is
+/// strictly required for the tooling to see them — this header exists so
+/// the macro has exactly one definition the compiler agrees with.
+///
+/// Contract: a member declared
+///
+///   std::deque<Task> queue_ CHAMELEON_GUARDED_BY(mutex_);
+///
+/// may only be accessed by non-const member functions of the same class
+/// while `mutex_` is lexically held via std::lock_guard / unique_lock /
+/// scoped_lock / shared_lock in an enclosing scope. Const member
+/// functions, constructors and destructors are exempt (read-only or
+/// pre/post-sharing by contract — audited manually). The annotation goes
+/// between the declarator and the initializer.
+#define CHAMELEON_GUARDED_BY(mu)
+
+#endif  // CHAMELEON_UTIL_THREAD_ANNOTATIONS_H_

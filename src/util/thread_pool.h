@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/thread_annotations.h"
 
 namespace chameleon::util {
 
@@ -82,16 +83,16 @@ class ThreadPool {
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::packaged_task<void()>> queue_ CHAMELEON_GUARDED_BY(mutex_);
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ CHAMELEON_GUARDED_BY(mutex_) = false;
 
   // Execution counters. The queue-side pair piggybacks on mutex_ (it is
   // already held where they change); the ParallelFor pair is atomic so
   // stats() never contends with a running loop.
-  int64_t tasks_submitted_ = 0;   // guarded by mutex_
-  int64_t max_queue_depth_ = 0;   // guarded by mutex_
+  int64_t tasks_submitted_ CHAMELEON_GUARDED_BY(mutex_) = 0;
+  int64_t max_queue_depth_ CHAMELEON_GUARDED_BY(mutex_) = 0;
   std::atomic<int64_t> parallel_for_calls_{0};
   std::atomic<int64_t> chunks_executed_{0};
 };

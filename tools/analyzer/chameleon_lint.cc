@@ -1,36 +1,41 @@
 // chameleon-lint: project-invariant static analyzer for the Chameleon
 // tree. Enforces, as named and suppressible rules, the invariants the
-// compiler cannot see: Status discipline, determinism, concurrency
-// hygiene, and header hygiene. See DESIGN.md "Static analysis &
-// invariants".
+// compiler cannot see: Status discipline, determinism (leaf uses and
+// call-graph taint), concurrency hygiene, lock discipline, lock-order
+// acyclicity, and header hygiene. See DESIGN.md "Static analysis &
+// invariants" and "Cross-TU analysis".
 //
 // Usage:
-//   chameleon-lint [--root=DIR] [--disable=rule,...] [--list-rules] [paths]
+//   chameleon-lint [--root=DIR] [--disable=rule,...] [--list-rules]
+//                  [--jobs=N] [--sarif=FILE] [--baseline=FILE]
+//                  [--write-baseline=FILE] [--fix] [paths]
 //
 // With no paths, lints src/ and tests/ under --root (default: cwd).
-// Output is machine-friendly: `file:line:col: [chameleon-rule] message`.
-// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+// Output is machine-friendly: `file:line:col: [chameleon-rule] message`,
+// byte-identical at every --jobs value. Exit codes: 0 clean, 1 findings,
+// 2 usage/IO error.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <iostream>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/analyzer/engine.h"
 #include "tools/analyzer/rules.h"
-#include "tools/analyzer/token.h"
+#include "tools/analyzer/sarif.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+using chameleon_lint::EngineOptions;
+using chameleon_lint::EngineResult;
 using chameleon_lint::Finding;
-using chameleon_lint::FunctionRegistry;
-using chameleon_lint::LexResult;
-using chameleon_lint::LintOptions;
+using chameleon_lint::SourceFile;
 
 bool IsSourceFile(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -44,10 +49,27 @@ std::string Relativize(const fs::path& p, const fs::path& root) {
   return (ec || rel.empty() ? p : rel).generic_string();
 }
 
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--root=DIR] [--disable=rule,...] [--list-rules] "
-               "[paths...]\n",
+               "[--jobs=N] [--sarif=FILE] [--baseline=FILE] "
+               "[--write-baseline=FILE] [--fix] [paths...]\n",
                argv0);
   return 2;
 }
@@ -56,7 +78,11 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
-  LintOptions options;
+  EngineOptions options;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool fix = false;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -69,6 +95,30 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--root=", 0) == 0) {
       root = fs::path(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::atoi(arg.c_str() + 7);
+      if (options.jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      continue;
+    }
+    if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+      continue;
+    }
+    if (arg == "--fix") {
+      fix = true;
       continue;
     }
     if (arg.rfind("--disable=", 0) == 0) {
@@ -86,7 +136,7 @@ int main(int argc, char** argv) {
                        name.c_str());
           return 2;
         }
-        options.disabled.insert(name);
+        options.lint.disabled.insert(name);
       }
       continue;
     }
@@ -97,8 +147,18 @@ int main(int argc, char** argv) {
     inputs = {"src", "tests"};
   }
 
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(fs::path(baseline_path), &text)) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    options.baseline = chameleon_lint::ParseBaseline(text);
+  }
+
   // Resolve inputs (relative to --root) into the file set.
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const std::string& input : inputs) {
     fs::path p(input);
     if (p.is_relative()) p = root / p;
@@ -107,60 +167,90 @@ int main(int argc, char** argv) {
       for (auto it = fs::recursive_directory_iterator(p, ec);
            !ec && it != fs::recursive_directory_iterator(); ++it) {
         if (it->is_regular_file() && IsSourceFile(it->path())) {
-          files.push_back(it->path());
+          paths.push_back(it->path());
         }
       }
     } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
+      paths.push_back(p);
     } else {
       std::fprintf(stderr, "cannot read '%s'\n", input.c_str());
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  // Lex everything once; pass 1 builds the cross-file function registry.
-  struct FileData {
-    std::string rel;
-    std::string source;
-    LexResult lex;
-  };
-  std::vector<FileData> data;
-  data.reserve(files.size());
-  FunctionRegistry registry;
-  chameleon_lint::SeedProjectStatusApis(&registry);
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "cannot read '%s'\n", file.string().c_str());
+  std::vector<SourceFile> files;
+  std::vector<fs::path> abs_paths;  // aligned with `files` after sorting
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    SourceFile file;
+    file.path = Relativize(path, root);
+    if (!ReadFile(path, &file.source)) {
+      std::fprintf(stderr, "cannot read '%s'\n", path.string().c_str());
       return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    FileData d;
-    d.rel = Relativize(file, root);
-    d.source = buffer.str();
-    d.lex = chameleon_lint::Lex(d.source);
-    chameleon_lint::CollectFunctions(d.lex, &registry);
-    data.push_back(std::move(d));
+    files.push_back(std::move(file));
+    abs_paths.push_back(path);
   }
 
-  // Pass 2: rules.
-  std::vector<Finding> findings;
-  for (const FileData& d : data) {
-    std::vector<Finding> file_findings =
-        chameleon_lint::LintFile(d.rel, d.source, d.lex, registry, options);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+  EngineResult result = chameleon_lint::AnalyzeSources(files, options);
+
+  if (fix) {
+    // Apply the mechanical fixes, then re-analyze so the report (and the
+    // exit code) reflect the tree as fixed. Fixes are idempotent, so one
+    // re-analysis suffices.
+    size_t total_applied = 0;
+    for (size_t i = 0; i < files.size(); ++i) {
+      size_t applied = 0;
+      const std::string fixed = chameleon_lint::ApplyFixes(
+          files[i].path, files[i].source, result.findings, &applied);
+      if (applied == 0) continue;
+      if (!WriteFile(abs_paths[i], fixed)) {
+        std::fprintf(stderr, "cannot write '%s'\n",
+                     abs_paths[i].string().c_str());
+        return 2;
+      }
+      files[i].source = fixed;
+      total_applied += applied;
+    }
+    std::fprintf(stderr, "chameleon-lint: applied %zu fix(es)\n",
+                 total_applied);
+    if (total_applied > 0) {
+      result = chameleon_lint::AnalyzeSources(files, options);
+    }
   }
-  std::sort(findings.begin(), findings.end());
-  for (const Finding& finding : findings) {
+
+  if (!write_baseline_path.empty()) {
+    if (!WriteFile(fs::path(write_baseline_path),
+                   chameleon_lint::FormatBaseline(result.findings))) {
+      std::fprintf(stderr, "cannot write baseline '%s'\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "chameleon-lint: wrote %zu baseline entr(ies) to %s\n",
+                 result.findings.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  if (!sarif_path.empty()) {
+    if (!WriteFile(fs::path(sarif_path),
+                   chameleon_lint::ToSarif(result.findings))) {
+      std::fprintf(stderr, "cannot write sarif '%s'\n", sarif_path.c_str());
+      return 2;
+    }
+  }
+
+  for (const Finding& finding : result.findings) {
     std::printf("%s\n", chameleon_lint::FormatFinding(finding).c_str());
   }
-  if (!findings.empty()) {
-    std::fprintf(stderr, "chameleon-lint: %zu finding(s) in %zu file(s)\n",
-                 findings.size(), data.size());
+  if (!result.findings.empty()) {
+    std::fprintf(stderr, "chameleon-lint: %zu finding(s) in %zu file(s)",
+                 result.findings.size(), result.files_analyzed);
+    if (result.baseline_suppressed > 0) {
+      std::fprintf(stderr, " (%zu baselined)", result.baseline_suppressed);
+    }
+    std::fprintf(stderr, "\n");
     return 1;
   }
   return 0;

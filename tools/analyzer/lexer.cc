@@ -1,5 +1,6 @@
 #include "tools/analyzer/token.h"
 
+#include <algorithm>
 #include <cctype>
 
 namespace chameleon_lint {
@@ -14,16 +15,21 @@ bool IsIdentChar(char c) {
 }
 
 /// Records NOLINT / NOLINTNEXTLINE annotations found in a comment body.
-/// `line` is the line the comment starts on.
+/// `line` is the line the comment starts on; annotations deeper inside a
+/// multi-line block comment target the line they are actually written
+/// on, so the newlines before each occurrence are counted in.
 void ParseNolint(const std::string& comment, int line,
                  std::map<int, std::set<std::string>>* nolint) {
   size_t pos = 0;
   while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
     size_t after = pos + 6;
-    int target = line;
+    const int written_on =
+        line + static_cast<int>(std::count(comment.begin(),
+                                           comment.begin() + pos, '\n'));
+    int target = written_on;
     if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
       after = pos + 14;
-      target = line + 1;
+      target = written_on + 1;
     }
     std::set<std::string>& rules = (*nolint)[target];
     if (after < comment.size() && comment[after] == '(') {
@@ -132,9 +138,12 @@ LexResult Lex(const std::string& source) {
       size_t j = i;
       while (j < n && IsIdentChar(source[j])) ++j;
       std::string ident = source.substr(i, j - i);
-      // Raw string literal: R"delim( ... )delim"
+      // Raw string literal: R"delim( ... )delim" — all five encoding
+      // prefixes ([u8|u|U|L]R). Missing one would spill the literal's
+      // body into the token stream as ordinary code.
       if (j < n && source[j] == '"' &&
-          (ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR")) {
+          (ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+           ident == "LR")) {
         size_t k = j + 1;
         std::string delim;
         while (k < n && source[k] != '(') delim += source[k++];

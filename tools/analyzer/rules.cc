@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -9,25 +10,9 @@
 namespace chameleon_lint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Scope tracking
-// ---------------------------------------------------------------------------
-
-/// What kind of construct a brace pair belongs to. Heuristic, not a parse:
-/// the authoritative check is the fixture suite plus the zero-findings run
-/// over the live tree.
-enum class ScopeKind {
-  kNamespace,    // namespace body (and file top level)
-  kType,         // class/struct/union/enum body
-  kFunction,     // function/lambda body or nested block
-  kInitializer,  // braced initializer list
-};
-
-/// Per-token scope information, aligned with LexResult::tokens.
-struct ScopeInfo {
-  ScopeKind innermost = ScopeKind::kNamespace;
-  bool in_function = false;  // true if any enclosing scope is a function
-};
+// Scope classification and brace/paren matching live in index.h — one
+// implementation shared with the cross-TU pass so the two can never
+// disagree about scoping.
 
 bool IsIdent(const Token& t, const char* text) {
   return t.kind == TokenKind::kIdentifier && t.text == text;
@@ -35,85 +20,6 @@ bool IsIdent(const Token& t, const char* text) {
 
 bool IsPunct(const Token& t, const char* text) {
   return t.kind == TokenKind::kPunct && t.text == text;
-}
-
-/// Classifies the brace at `open` given the statement window that leads up
-/// to it (tokens since the previous ; { or } at the same nesting).
-ScopeKind ClassifyBrace(const std::vector<Token>& tokens, size_t open,
-                        const ScopeInfo& parent) {
-  size_t begin = open;
-  while (begin > 0) {
-    const Token& t = tokens[begin - 1];
-    if (IsPunct(t, ";") || IsPunct(t, "{") || IsPunct(t, "}")) break;
-    --begin;
-  }
-  if (begin == open) {  // empty window: bare block or element brace
-    return parent.in_function ? ScopeKind::kFunction : ScopeKind::kInitializer;
-  }
-  bool has_class_key = false, has_paren_open = false, has_paren_close = false,
-       has_assign = false;
-  for (size_t i = begin; i < open; ++i) {
-    const Token& t = tokens[i];
-    if (IsIdent(t, "namespace")) return ScopeKind::kNamespace;
-    if (IsIdent(t, "class") || IsIdent(t, "struct") || IsIdent(t, "union") ||
-        IsIdent(t, "enum")) {
-      has_class_key = true;
-    } else if (IsPunct(t, "(")) {
-      has_paren_open = true;
-    } else if (IsPunct(t, ")")) {
-      has_paren_close = true;
-    } else if (IsPunct(t, "=")) {
-      has_assign = true;
-    }
-  }
-  if (has_class_key && !has_paren_open) return ScopeKind::kType;
-  const Token& last = tokens[open - 1];
-  if (IsPunct(last, ")") || IsPunct(last, "]") || IsIdent(last, "const") ||
-      IsIdent(last, "noexcept") || IsIdent(last, "mutable") ||
-      IsIdent(last, "override") || IsIdent(last, "final") ||
-      IsIdent(last, "try") || IsIdent(last, "do") || IsIdent(last, "else")) {
-    return ScopeKind::kFunction;
-  }
-  if (has_assign) return ScopeKind::kInitializer;
-  if (has_paren_close) return ScopeKind::kFunction;
-  if (parent.in_function) return ScopeKind::kFunction;
-  return ScopeKind::kInitializer;
-}
-
-/// Computes, for every token, the scope that *contains* it.
-std::vector<ScopeInfo> ComputeScopes(const std::vector<Token>& tokens) {
-  std::vector<ScopeInfo> out(tokens.size());
-  std::vector<ScopeInfo> stack;
-  ScopeInfo current;  // top level behaves like namespace scope
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    out[i] = current;
-    const Token& t = tokens[i];
-    if (IsPunct(t, "{")) {
-      const ScopeKind kind = ClassifyBrace(tokens, i, current);
-      stack.push_back(current);
-      current.innermost = kind;
-      current.in_function =
-          current.in_function || kind == ScopeKind::kFunction;
-    } else if (IsPunct(t, "}")) {
-      if (!stack.empty()) {
-        current = stack.back();
-        stack.pop_back();
-      }
-    }
-  }
-  return out;
-}
-
-/// Index of the matching ")" for the "(" at `open`, or npos.
-size_t MatchParen(const std::vector<Token>& tokens, size_t open) {
-  int depth = 0;
-  for (size_t i = open; i < tokens.size(); ++i) {
-    if (IsPunct(tokens[i], "(")) ++depth;
-    if (IsPunct(tokens[i], ")")) {
-      if (--depth == 0) return i;
-    }
-  }
-  return std::string::npos;
 }
 
 bool Contains(const std::string& haystack, const char* needle) {
@@ -162,12 +68,12 @@ bool IsReturnTypeToken(const Token& t) {
 
 void CollectFunctions(const LexResult& lex, FunctionRegistry* registry) {
   const std::vector<Token>& toks = lex.tokens;
-  const std::vector<ScopeInfo> scopes = ComputeScopes(toks);
+  const ScopeMap scopes = ComputeScopeMap(toks);
   for (size_t i = 0; i + 1 < toks.size(); ++i) {
     if (toks[i].kind != TokenKind::kIdentifier || !IsPunct(toks[i + 1], "("))
       continue;
-    if (scopes[i].in_function ||
-        scopes[i].innermost == ScopeKind::kInitializer)
+    if (scopes.info[i].in_function ||
+        scopes.info[i].innermost == ScopeKind::kInitializer)
       continue;
     const std::string& name = toks[i].text;
     if (name == "operator") continue;
@@ -259,7 +165,7 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
 namespace {
 
 void CheckStatusDiscipline(const std::string& path, const LexResult& lex,
-                           const std::vector<ScopeInfo>& scopes,
+                           const ScopeMap& scopes,
                            const FunctionRegistry& registry,
                            std::vector<Finding>* out) {
   const std::vector<Token>& toks = lex.tokens;
@@ -288,7 +194,7 @@ void CheckStatusDiscipline(const std::string& path, const LexResult& lex,
 
   for (size_t s : stmt_starts) {
     if (s >= toks.size()) continue;
-    if (!scopes[s].in_function) continue;
+    if (!scopes.info[s].in_function) continue;
     if (toks[s].kind != TokenKind::kIdentifier) continue;
     if (kStatementKeywords.count(toks[s].text) > 0) continue;
     // Parse a call chain: name(...)  obj.name(...)  ns::obj->name(...)
@@ -334,7 +240,8 @@ void CheckStatusDiscipline(const std::string& path, const LexResult& lex,
             "result of '" + callee +
                 "' is discarded; the returned handle is the product of the "
                 "call (a discarded Span ends immediately, a discarded "
-                "instrument pointer records nothing)"});
+                "instrument pointer records nothing)",
+            FixKind::kInsertNolint, ""});
       continue;
     }
     if (!registry.IsUnambiguousStatus(callee)) continue;
@@ -393,8 +300,7 @@ void CheckDeterminism(const std::string& path, const LexResult& lex,
 }
 
 void CheckConcurrencyHygiene(const std::string& path, const std::string& source,
-                             const LexResult& lex,
-                             const std::vector<ScopeInfo>& scopes,
+                             const LexResult& lex, const ScopeMap& scopes,
                              std::vector<Finding>* out) {
   const std::vector<Token>& toks = lex.tokens;
   const std::string lower = Lowercase(source);
@@ -409,8 +315,8 @@ void CheckConcurrencyHygiene(const std::string& path, const std::string& source,
     if (t.kind != TokenKind::kIdentifier) continue;
     // Function-local mutable static state: shared across calls and, under
     // the thread pool, across threads.
-    if (t.text == "static" && !is_test && scopes[i].in_function &&
-        scopes[i].innermost == ScopeKind::kFunction) {
+    if (t.text == "static" && !is_test && scopes.info[i].in_function &&
+        scopes.info[i].innermost == ScopeKind::kFunction) {
       bool is_const = i > 0 && (IsIdent(toks[i - 1], "const") ||
                                 IsIdent(toks[i - 1], "constexpr"));
       for (size_t j = i + 1; !is_const && j < toks.size() && j < i + 6; ++j) {
@@ -432,8 +338,9 @@ void CheckConcurrencyHygiene(const std::string& path, const std::string& source,
     }
     // `mutable` members in files that document thread-safety must be
     // synchronized types.
-    if (t.text == "mutable" && mentions_thread_safety && !scopes[i].in_function &&
-        scopes[i].innermost == ScopeKind::kType) {
+    if (t.text == "mutable" && mentions_thread_safety &&
+        !scopes.info[i].in_function &&
+        scopes.info[i].innermost == ScopeKind::kType) {
       bool synchronized = false;
       for (size_t j = i + 1; j < toks.size(); ++j) {
         if (IsPunct(toks[j], ";")) break;
@@ -487,8 +394,7 @@ const std::map<std::string, std::string>& StdSymbolHeaders() {
 }
 
 void CheckHeaderHygiene(const std::string& path, const LexResult& lex,
-                        const std::vector<ScopeInfo>& scopes,
-                        std::vector<Finding>* out) {
+                        const ScopeMap& scopes, std::vector<Finding>* out) {
   if (!IsHeaderPath(path)) return;
   const std::string expected = ExpectedGuard(path);
 
@@ -501,6 +407,7 @@ void CheckHeaderHygiene(const std::string& path, const LexResult& lex,
     return text.substr(0, sp);
   };
   bool guard_ok = false;
+  bool has_pair = false;  // an ifndef/define pair exists (fixable in place)
   if (lex.directives.size() >= 2) {
     size_t rest1 = 0, rest2 = 0;
     const std::string w1 = directive_word(lex.directives[0].text, &rest1);
@@ -511,23 +418,28 @@ void CheckHeaderHygiene(const std::string& path, const LexResult& lex,
     const std::string sym2 = rest2 == std::string::npos
                                  ? ""
                                  : lex.directives[1].text.substr(rest2);
-    guard_ok = w1 == "ifndef" && w2 == "define" && sym1 == expected &&
-               sym2 == expected;
+    has_pair = w1 == "ifndef" && w2 == "define";
+    guard_ok = has_pair && sym1 == expected && sym2 == expected;
   }
   if (!guard_ok) {
-    Emit(lex, out,
-         {path, lex.directives.empty() ? 1 : lex.directives[0].line, 1,
-          "header-hygiene",
-          "missing or non-conforming include guard; expected '#ifndef " +
-              expected + "' / '#define " + expected + "' as the first two "
-              "preprocessor lines"});
+    Finding finding{path, lex.directives.empty() ? 1 : lex.directives[0].line,
+                    1, "header-hygiene",
+                    "missing or non-conforming include guard; expected "
+                    "'#ifndef " +
+                        expected + "' / '#define " + expected +
+                        "' as the first two preprocessor lines"};
+    if (has_pair) {  // --fix can rewrite an existing pair, not invent one
+      finding.fix = FixKind::kRewriteGuard;
+      finding.fix_data = expected;
+    }
+    Emit(lex, out, std::move(finding));
   }
 
   const std::vector<Token>& toks = lex.tokens;
   // `using namespace` at namespace scope leaks into every includer.
   for (size_t i = 0; i + 1 < toks.size(); ++i) {
     if (IsIdent(toks[i], "using") && IsIdent(toks[i + 1], "namespace") &&
-        !scopes[i].in_function) {
+        !scopes.info[i].in_function) {
       Emit(lex, out,
            {path, toks[i].line, toks[i].col, "header-hygiene",
             "'using namespace' at namespace scope in a header leaks the "
@@ -581,8 +493,248 @@ const std::vector<RuleInfo>& Rules() {
        "include guards must match CHAMELEON_<DIR>_<FILE>_H_; no 'using "
        "namespace' at namespace scope in headers; headers must directly "
        "include the std headers they use"},
+      {"lock-discipline",
+       "members declared CHAMELEON_GUARDED_BY(mu) may only be accessed with "
+       "'mu' lexically held (const member functions, constructors and "
+       "destructors are exempt)"},
+      {"lock-order",
+       "the tree-wide lock-acquisition-order graph (direct nesting plus "
+       "acquisitions reached through calls) must be acyclic; a cycle is a "
+       "potential deadlock"},
+      {"determinism-taint",
+       "functions that transitively reach rand()/wall-clock sources outside "
+       "the allowlist through the call graph are flagged, not just the "
+       "leaf"},
   };
   return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2 cross-TU rules (built on the pass-1 index)
+// ---------------------------------------------------------------------------
+
+void CheckLockDiscipline(const std::string& path, const LexResult& lex,
+                         const FileIndex& file_index, const TreeIndex& tree,
+                         std::vector<Finding>* out) {
+  const std::vector<Token>& toks = lex.tokens;
+  for (const FunctionInfo& fn : file_index.functions) {
+    // Const member functions are read-only by contract and audited
+    // manually; constructors/destructors run before/after any sharing.
+    if (fn.class_name.empty() || fn.is_const || fn.is_ctor_dtor) continue;
+    const auto guarded_it = tree.guarded.find(fn.class_name);
+    if (guarded_it == tree.guarded.end()) continue;
+    const std::map<std::string, std::string>& members = guarded_it->second;
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const auto member_it = members.find(t.text);
+      if (member_it == members.end()) continue;
+      // `other.member_` is someone else's instance (out of scope for a
+      // lexical analysis); `this->member_` is ours.
+      if (i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+        if (!(i >= 2 && IsIdent(toks[i - 2], "this"))) continue;
+      }
+      if (i > 0 && IsPunct(toks[i - 1], "::")) continue;
+      const std::string needed =
+          fn.class_name + "::" + member_it->second;
+      bool held = false;
+      std::string held_instead;
+      for (const LockAcquisition& lock : fn.locks) {
+        if (lock.token < i && i < lock.scope_end) {
+          if (lock.mutex == needed) {
+            held = true;
+            break;
+          }
+          if (!held_instead.empty()) held_instead += ", ";
+          held_instead += "'" + lock.mutex + "'";
+        }
+      }
+      if (held) continue;
+      std::string message =
+          "member '" + t.text + "' of '" + fn.class_name +
+          "' is declared CHAMELEON_GUARDED_BY(" + member_it->second +
+          ") but is accessed without '" + member_it->second + "' held";
+      if (!held_instead.empty()) {
+        message += " (held instead: " + held_instead + ")";
+      }
+      message +=
+          "; take a std::lock_guard/unique_lock/scoped_lock on '" +
+          member_it->second + "' in an enclosing scope";
+      Emit(lex, out, {path, t.line, t.col, "lock-discipline", message});
+    }
+  }
+}
+
+namespace {
+
+/// Emits through the per-file suppression context when available (tree
+/// rules place findings in arbitrary files).
+void EmitTree(const std::map<std::string, const LexResult*>& lex_by_file,
+              std::vector<Finding>* out, Finding finding) {
+  const auto it = lex_by_file.find(finding.file);
+  if (it != lex_by_file.end()) {
+    Emit(*it->second, out, std::move(finding));
+  } else {
+    out->push_back(std::move(finding));
+  }
+}
+
+}  // namespace
+
+void CheckLockOrder(const TreeIndex& tree,
+                    const std::map<std::string, const LexResult*>& lex_by_file,
+                    std::vector<Finding>* out) {
+  // Adjacency over canonical mutex names; node and edge iteration both
+  // follow map order, so the SCC decomposition is deterministic.
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const auto& [key, edge] : tree.edges) {
+    adjacency[key.first].push_back(key.second);
+    adjacency[key.second];
+  }
+
+  std::map<std::string, int> visit_index, low_link;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next_index = 0;
+  std::vector<std::vector<std::string>> components;
+  std::function<void(const std::string&)> strong_connect =
+      [&](const std::string& v) {
+        visit_index[v] = low_link[v] = next_index++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        for (const std::string& w : adjacency[v]) {
+          if (visit_index.count(w) == 0) {
+            strong_connect(w);
+            low_link[v] = std::min(low_link[v], low_link[w]);
+          } else if (on_stack.count(w) > 0) {
+            low_link[v] = std::min(low_link[v], visit_index[w]);
+          }
+        }
+        if (low_link[v] == visit_index[v]) {
+          std::vector<std::string> component;
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            component.push_back(std::move(w));
+            if (component.back() == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          components.push_back(std::move(component));
+        }
+      };
+  for (const auto& [node, targets] : adjacency) {
+    (void)targets;
+    if (visit_index.count(node) == 0) strong_connect(node);
+  }
+  std::sort(components.begin(), components.end());
+
+  for (const std::vector<std::string>& component : components) {
+    bool cyclic = component.size() > 1;
+    if (!cyclic) {  // single node: cyclic iff it has a self-edge
+      cyclic = tree.edges.count({component[0], component[0]}) > 0;
+    }
+    if (!cyclic) continue;
+    const std::set<std::string> members(component.begin(), component.end());
+    const LockOrderEdge* anchor = nullptr;
+    std::string detail;
+    for (const auto& [key, edge] : tree.edges) {
+      if (members.count(key.first) == 0 || members.count(key.second) == 0) {
+        continue;
+      }
+      if (anchor == nullptr) anchor = &edge;
+      if (!detail.empty()) detail += "; ";
+      detail += "'" + key.first + "' then '" + key.second + "' at " +
+                edge.site;
+    }
+    if (anchor == nullptr) continue;
+    std::string names;
+    for (const std::string& name : component) {
+      if (!names.empty()) names += ", ";
+      names += "'" + name + "'";
+    }
+    EmitTree(lex_by_file, out,
+             {anchor->file, anchor->line, anchor->col, "lock-order",
+              "lock-order cycle (potential deadlock) among " + names + ": " +
+                  detail +
+                  "; acquire these mutexes in one global order everywhere, "
+                  "or collapse them into one"});
+  }
+}
+
+void CheckDeterminismTaint(
+    const TreeIndex& tree,
+    const std::map<std::string, const LexResult*>& lex_by_file,
+    std::vector<Finding>* out) {
+  const size_t n = tree.functions.size();
+  // Reverse name-based call graph (callee index -> caller indices).
+  std::vector<std::vector<size_t>> callers(n);
+  for (size_t caller = 0; caller < n; ++caller) {
+    std::set<size_t> seen;
+    for (const CallSite& call : tree.functions[caller].calls) {
+      if (StdVocabularyNames().count(call.callee) > 0) continue;
+      const auto it = tree.by_name.find(call.callee);
+      if (it == tree.by_name.end()) continue;
+      for (size_t callee : it->second) {
+        // Same exclusion the index applies to lock-order resolution: an
+        // explicit-receiver call is on another object, so it does not
+        // resolve back into the caller's own class.
+        if (call.via_object &&
+            tree.functions[callee].class_name ==
+                tree.functions[caller].class_name) {
+          continue;
+        }
+        if (callee != caller && seen.insert(callee).second) {
+          callers[callee].push_back(caller);
+        }
+      }
+    }
+  }
+
+  // BFS from taint origins up the caller graph; `next` records the step
+  // toward the origin, so each flagged function carries its (shortest)
+  // offending call chain. Sanctioned functions neither originate nor
+  // propagate taint: calling a stopwatch is how timing is *supposed* to
+  // happen.
+  std::vector<int> next(n, -1);
+  std::vector<char> tainted(n, 0);
+  std::vector<size_t> queue;
+  for (size_t i = 0; i < n; ++i) {
+    if (!tree.functions[i].sanctioned && !tree.functions[i].nondet.empty()) {
+      tainted[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const size_t u = queue[head];
+    for (size_t caller : callers[u]) {
+      if (tainted[caller] != 0 || tree.functions[caller].sanctioned) continue;
+      tainted[caller] = 1;
+      next[caller] = static_cast<int>(u);
+      queue.push_back(caller);
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    // Origins themselves are the leaf chameleon-determinism rule's job.
+    if (tainted[i] == 0 || next[i] < 0) continue;
+    const FunctionInfo& fn = tree.functions[i];
+    std::string chain = "'" + fn.qualified + "'";
+    size_t cursor = i;
+    while (next[cursor] >= 0) {
+      cursor = static_cast<size_t>(next[cursor]);
+      chain += " -> '" + tree.functions[cursor].qualified + "'";
+    }
+    const FunctionInfo& origin = tree.functions[cursor];
+    const NondetUse& source = origin.nondet.front();
+    EmitTree(lex_by_file, out,
+             {fn.file, fn.line, fn.col, "determinism-taint",
+              "'" + fn.qualified + "' transitively reaches nondeterminism "
+              "source " + source.what + " (" + origin.file + ":" +
+                  std::to_string(source.line) + ") via " + chain +
+                  "; thread a seeded util::Rng through the call instead, or "
+                  "allowlist the helper if timing is its purpose"});
+  }
 }
 
 std::string ExpectedGuard(const std::string& path) {
@@ -613,7 +765,7 @@ std::vector<Finding> LintFile(const std::string& path,
                               const FunctionRegistry& registry,
                               const LintOptions& options) {
   std::vector<Finding> out;
-  const std::vector<ScopeInfo> scopes = ComputeScopes(lex.tokens);
+  const ScopeMap scopes = ComputeScopeMap(lex.tokens);
   if (!options.IsDisabled("status-discipline")) {
     CheckStatusDiscipline(path, lex, scopes, registry, &out);
   }

@@ -1,22 +1,53 @@
 #ifndef CHAMELEON_TOOLS_ANALYZER_RULES_H_
 #define CHAMELEON_TOOLS_ANALYZER_RULES_H_
 
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tools/analyzer/index.h"
 #include "tools/analyzer/token.h"
 
 namespace chameleon_lint {
 
+/// Mechanical remediation attached to a finding (--fix mode). Only two
+/// finding shapes are safely auto-fixable; everything else needs a
+/// human.
+enum class FixKind {
+  kNone,
+  /// Header guard exists but names the wrong symbol: rewrite the
+  /// #ifndef/#define pair (and the trailing #endif comment) to
+  /// `fix_data`.
+  kRewriteGuard,
+  /// Discarded must-use handle: insert a NOLINTNEXTLINE suppression
+  /// with a TODO above the statement.
+  kInsertNolint,
+};
+
 /// One diagnostic. `rule` is the bare rule name (no "chameleon-" prefix);
 /// FormatFinding prints the canonical `file:line:col: [chameleon-rule] msg`.
 struct Finding {
+  Finding() = default;
+  Finding(std::string file_in, int line_in, int col_in, std::string rule_in,
+          std::string message_in, FixKind fix_in = FixKind::kNone,
+          std::string fix_data_in = "")
+      : file(std::move(file_in)),
+        line(line_in),
+        col(col_in),
+        rule(std::move(rule_in)),
+        message(std::move(message_in)),
+        fix(fix_in),
+        fix_data(std::move(fix_data_in)) {}
+
   std::string file;
   int line = 0;
   int col = 0;
   std::string rule;
   std::string message;
+  FixKind fix = FixKind::kNone;
+  std::string fix_data;  // kRewriteGuard: the expected guard symbol
 
   bool operator<(const Finding& other) const {
     if (file != other.file) return file < other.file;
@@ -33,8 +64,8 @@ struct RuleInfo {
   const char* description;
 };
 
-/// All rules, in reporting order. Used by --list-rules and --disable
-/// validation.
+/// All rules, in reporting order. Used by --list-rules, --disable
+/// validation, and the SARIF rules table.
 const std::vector<RuleInfo>& Rules();
 
 /// Name-indexed knowledge about functions declared across the scanned
@@ -58,6 +89,14 @@ struct FunctionRegistry {
   bool IsMustUse(const std::string& name) const {
     return must_use.count(name) > 0;
   }
+
+  void Merge(const FunctionRegistry& other) {
+    status_returning.insert(other.status_returning.begin(),
+                            other.status_returning.end());
+    other_returning.insert(other.other_returning.begin(),
+                           other.other_returning.end());
+    must_use.insert(other.must_use.begin(), other.must_use.end());
+  }
 };
 
 /// Pass 1: records every function declaration/definition at namespace or
@@ -76,8 +115,10 @@ struct LintOptions {
   /// Bare rule names to skip (accepts the "chameleon-" prefix too).
   std::set<std::string> disabled;
   /// Files whose (normalized, relative) path contains one of these
-  /// substrings are exempt from the determinism rule: wall-clock reads
+  /// substrings are exempt from the determinism rules: wall-clock reads
   /// are the whole point of a stopwatch, and bench harnesses time things.
+  /// Functions defined in these files are also "sanctioned" for the
+  /// taint rule — calls to them do not propagate nondeterminism.
   std::vector<std::string> determinism_allowlist = {"util/stopwatch",
                                                     "bench/"};
 
@@ -86,13 +127,39 @@ struct LintOptions {
   }
 };
 
-/// Pass 2: runs every enabled rule over one file. `path` must be the
-/// repo-relative, '/'-separated path — header-guard expectations and the
-/// determinism allowlist key off it.
+/// Pass 2 (per-file, lexical): runs the four file-local rules over one
+/// file. `path` must be the repo-relative, '/'-separated path —
+/// header-guard expectations and the determinism allowlist key off it.
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& source, const LexResult& lex,
                               const FunctionRegistry& registry,
                               const LintOptions& options);
+
+/// Pass 2 (per-file, cross-TU): chameleon-lock-discipline. Flags
+/// accesses to CHAMELEON_GUARDED_BY members (annotations may live in a
+/// different TU than the method bodies) without the named mutex
+/// lexically held. Constructors, destructors and const member functions
+/// are exempt (see DESIGN.md §12 for the false-negative contract).
+void CheckLockDiscipline(const std::string& path, const LexResult& lex,
+                         const FileIndex& file_index, const TreeIndex& tree,
+                         std::vector<Finding>* out);
+
+/// Pass 2 (tree-level): chameleon-lock-order. Detects cycles in the
+/// tree-wide lock-acquisition-order graph (direct nesting plus
+/// acquisitions reached through the name-based call graph).
+/// `lex_by_file` provides NOLINT suppression context for witness sites.
+void CheckLockOrder(const TreeIndex& tree,
+                    const std::map<std::string, const LexResult*>& lex_by_file,
+                    std::vector<Finding>* out);
+
+/// Pass 2 (tree-level): chameleon-determinism-taint. Propagates
+/// nondeterminism sources up the call graph: a function that
+/// *transitively* reaches rand()/wall-clock outside the allowlist is
+/// flagged with the offending call chain, not just the leaf.
+void CheckDeterminismTaint(
+    const TreeIndex& tree,
+    const std::map<std::string, const LexResult*>& lex_by_file,
+    std::vector<Finding>* out);
 
 /// The include-guard symbol the project convention demands for a header
 /// at `path` (repo-relative): CHAMELEON_<DIR>_<FILE>_H_ with a leading

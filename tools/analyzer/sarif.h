@@ -1,0 +1,20 @@
+#ifndef CHAMELEON_TOOLS_ANALYZER_SARIF_H_
+#define CHAMELEON_TOOLS_ANALYZER_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analyzer/rules.h"
+
+namespace chameleon_lint {
+
+/// Serializes findings as a SARIF 2.1.0 log (one run, the full rules
+/// table in tool.driver, one result per finding). The output is fully
+/// deterministic — fixed key order, fixed indentation — so CI can diff
+/// artifacts and the selfhost test can compare bytes across --jobs
+/// values. Findings must already be sorted.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace chameleon_lint
+
+#endif  // CHAMELEON_TOOLS_ANALYZER_SARIF_H_

@@ -63,8 +63,10 @@ run_faults() {
   ctest --test-dir "${dir}" --output-on-failure -R '^(resilience_test|fm_test)$'
 }
 
-# Builds only the linter and runs it over the tree; exits nonzero on any
-# finding. Cheaper than a full test run, so it leads the `all` sequence.
+# Builds only the linter and runs it over the tree (all rules, the
+# committed baseline, full parallelism); exits nonzero on any finding.
+# Emits the SARIF log as ${dir}/lint.sarif for CI annotation upload.
+# Cheaper than a full test run, so it leads the `all` sequence.
 run_lint() {
   local dir="build-ci-lint"
   echo "==== [lint] configure (Release) ===="
@@ -73,9 +75,13 @@ run_lint() {
     -DCHAMELEON_WERROR=ON >/dev/null
   echo "==== [lint] build chameleon-lint ===="
   cmake --build "${dir}" -j "${PARALLEL}" --target chameleon-lint
-  echo "==== [lint] chameleon-lint src tests tools/analyzer tools/obsctl ===="
-  "${dir}/tools/analyzer/chameleon-lint" --root=. src tests tools/analyzer \
-    tools/obsctl
+  echo "==== [lint] chameleon-lint --jobs=${PARALLEL} src tests tools/analyzer tools/obsctl ===="
+  "${dir}/tools/analyzer/chameleon-lint" --root=. \
+    "--jobs=${PARALLEL}" \
+    "--sarif=${dir}/lint.sarif" \
+    --baseline=tools/analyzer/lint-baseline.txt \
+    src tests tools/analyzer tools/obsctl
+  echo "==== [lint] sarif artifact: ${dir}/lint.sarif ===="
 }
 
 # Continuous-benchmark gate: runs the smoke micro-bench set with the
