@@ -8,6 +8,7 @@
 
 #include "src/coverage/pattern_counter.h"
 #include "src/fm/batching.h"
+#include "src/fm/deadline.h"
 #include "src/obs/observability.h"
 #include "src/util/thread_pool.h"
 
@@ -146,6 +147,25 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
   bool parked = false;
   while (!parked && accepted_here < count && attempts < attempt_cap &&
          report->queries < options_.max_queries) {
+    // Deadline/cancel check at the round boundary: once the request's
+    // budget is gone (or a cancel frame landed), park this entry — it
+    // keeps whatever it accepted so far — and let the caller park the
+    // rest of the plan. Checking only between rounds keeps the partial
+    // report deterministic: a round either fully merges or never starts.
+    if (options_.deadline != nullptr && options_.deadline->ShouldStop()) {
+      report->faults.parked_targets.push_back(target);
+      parked = true;
+      if (obs != nullptr) {
+        metrics->fm_parked->Increment();
+        obs->journal.Record(
+            obs::JournalEvent("fm.parked")
+                .Set("target", FormatTarget(target))
+                .Set("code", options_.deadline->Cancelled()
+                                 ? "cancelled"
+                                 : "deadline_exceeded"));
+      }
+      break;
+    }
     // Never submit more than the caps allow: a batch can accept at most
     // (count - accepted_here), so a capped batch issues exactly the
     // queries the one-at-a-time loop would.
@@ -380,6 +400,7 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
   const data::AttributeSchema& schema = corpus->dataset.schema();
   model_->OnRunStart();
   model_->set_backend_router(options_.backend_router);
+  model_->set_deadline(options_.deadline);
 
   obs::Observability* const obs = options_.observability;
   model_->set_observability(obs);
@@ -483,6 +504,13 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
                                      selector.get(), *sampler, &report, &rng);
     if (!accepted.ok()) return accepted.status();
     if (*accepted < entry.count) all_filled = false;
+  }
+  // A tripped deadline parks every entry it reaches (GenerateAccepted
+  // checks it before each round, so untouched entries park without
+  // issuing a single query); record why the run stopped early.
+  if (options_.deadline != nullptr) {
+    report.cancelled = options_.deadline->Cancelled();
+    report.deadline_expired = options_.deadline->Expired();
   }
   report.fully_resolved = all_filled;
   report.total_cost = static_cast<double>(report.queries) *

@@ -81,6 +81,13 @@ struct ChameleonOptions {
   /// are bit-identical at every num_threads — and attaching a sink never
   /// changes which tuples are accepted.
   obs::Observability* observability = nullptr;
+  /// Optional per-request deadline/cancellation context (not owned; null
+  /// — the default — disables it). Forwarded to the model at the start of
+  /// every run; the rejection loop checks it at round boundaries and
+  /// parks the remaining plan entries once it expires or is cancelled,
+  /// returning a partial report with `cancelled`/`deadline_expired` set.
+  /// The serving layer (tools/chameleond) allocates one per request.
+  fm::Deadline* deadline = nullptr;
   /// Graceful degradation: when a generation fails with a transport-level
   /// code (kUnavailable/kDeadlineExceeded/kResourceExhausted — i.e. the
   /// model's own resilience layer already gave up), park the current plan
@@ -142,6 +149,12 @@ struct RepairReport {
   int64_t quality_passes = 0;       // independent of the distribution outcome
   double total_cost = 0.0;
   bool fully_resolved = false;
+  /// The run stopped early because ChameleonOptions::deadline was
+  /// cancelled (resp. expired). Both partial outcomes park the remaining
+  /// plan entries into `faults.parked_targets` and keep every tuple
+  /// accepted before the stop.
+  bool cancelled = false;
+  bool deadline_expired = false;
 
   /// Fault telemetry: what the resilience layer absorbed and what the
   /// pipeline parked. Empty/zero on a healthy run.

@@ -18,6 +18,8 @@ struct Observability;
 
 namespace chameleon::fm {
 
+class Deadline;
+
 /// One query to the foundation model (§2.2): a prompt describing the
 /// target combination, and optionally a guide tuple (image + its
 /// attribute values) with a mask marking the regions to regenerate.
@@ -151,6 +153,13 @@ class FoundationModel {
   /// resilience decorators can export retry/breaker activity; plain
   /// backends ignore it.
   virtual void set_observability(obs::Observability* /*observability*/) {}
+
+  /// Attaches a per-request deadline/cancellation context (not owned;
+  /// null detaches). Resilience decorators charge attempt and backoff
+  /// time to it and fail fast once it expires or is cancelled; plain
+  /// backends ignore it. The pipeline forwards ChameleonOptions::deadline
+  /// here at the start of each run.
+  virtual void set_deadline(Deadline* /*deadline*/) {}
 
   int64_t num_queries() const {
     return num_queries_.load(std::memory_order_relaxed);

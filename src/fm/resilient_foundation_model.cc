@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "src/fm/deadline.h"
 #include "src/obs/observability.h"
 
 namespace chameleon::fm {
@@ -46,6 +47,9 @@ void ResilientFoundationModel::OnRunStart() {
 
 void ResilientFoundationModel::AdvanceClock(double ms) {
   if (observability_ != nullptr) observability_->clock.AdvanceMs(ms);
+  // Charge the per-request budget in lockstep with the run clock: the
+  // attached Deadline sees exactly the virtual time this request spent.
+  if (deadline_ != nullptr) deadline_->AdvanceMs(ms);
 }
 
 void ResilientFoundationModel::OnAttemptFailure() {
@@ -79,6 +83,18 @@ void ResilientFoundationModel::OnAttemptFailure() {
 util::Result<GenerationResult> ResilientFoundationModel::Generate(
     const GenerationRequest& request, util::Rng* rng) {
   RecordQuery();
+
+  if (deadline_ != nullptr && deadline_->ShouldStop()) {
+    ++telemetry_.failed_queries;
+    return deadline_->Cancelled()
+               ? util::Status::DeadlineExceeded(
+                     "request cancelled: failing fast without contacting "
+                     "the backend")
+               : util::Status::DeadlineExceeded(
+                     "per-request deadline exhausted (request clock at " +
+                     std::to_string(deadline_->ElapsedMs()) + " of " +
+                     std::to_string(deadline_->budget_ms()) + " ms)");
+  }
 
   if (options_.run_deadline_ms > 0.0 &&
       clock_ms_ >= options_.run_deadline_ms) {
@@ -149,6 +165,16 @@ util::Result<GenerationResult> ResilientFoundationModel::Generate(
         return util::Status::DeadlineExceeded(
             "per-run deadline exhausted while backing off; last failure: " +
             last_failure.ToString());
+      }
+      if (deadline_ != nullptr && deadline_->ShouldStop()) {
+        ++telemetry_.failed_queries;
+        return util::Status::DeadlineExceeded(
+            deadline_->Cancelled()
+                ? "request cancelled while backing off; last failure: " +
+                      last_failure.ToString()
+                : "per-request deadline exhausted while backing off; last "
+                  "failure: " +
+                      last_failure.ToString());
       }
     }
     ++telemetry_.attempts;

@@ -100,6 +100,18 @@ class ResilientFoundationModel : public FoundationModel {
     wrapped_->set_observability(observability);
   }
 
+  /// Attaches a per-request deadline/cancellation context (not owned;
+  /// null detaches). Every clock_ms_ advance — attempt cost and backoff
+  /// alike — is charged to it, and Generate fails fast with
+  /// kDeadlineExceeded once it expires or is cancelled. This is the
+  /// per-request generalization of ResilienceOptions::run_deadline_ms:
+  /// the serving layer gives each request its own decorator *and* its
+  /// own Deadline, so no request can burn another's budget.
+  void set_deadline(Deadline* deadline) override {
+    deadline_ = deadline;
+    wrapped_->set_deadline(deadline);
+  }
+
   /// Routing hooks pass straight through: a BackendPool may sit at the
   /// bottom of the decorator stack, and outcome feedback / policy
   /// selection must reach it.
@@ -124,6 +136,7 @@ class ResilientFoundationModel : public FoundationModel {
   util::Rng jitter_rng_;
   FaultTelemetry telemetry_;
   obs::Observability* observability_ = nullptr;
+  Deadline* deadline_ = nullptr;
 
   BreakerState state_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;

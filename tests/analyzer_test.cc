@@ -361,6 +361,63 @@ util::Status Export(obs::Observability* observability) {
   EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
 }
 
+TEST(StatusDisciplineTest, SeededServingApisAreFlagged) {
+  // PR 8 surface: the chameleond serving layer. Serve/Submit/Cancel/
+  // Drain/Resume and the frame codec's WriteFrame all return Status; a
+  // dropped Drain status hides a forced (cancelled-straggler) exit, a
+  // dropped WriteFrame status tears the stream silently.
+  const std::string source = R"(
+void Operate(daemon::Daemon* server, daemon::Transport* transport,
+             const daemon::RepairRequestSpec& spec) {
+  server->Resume();
+  server->Serve();
+  server->Cancel(spec.id);
+  daemon::WriteFrame(transport, "{}");
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 4);
+}
+
+TEST(StatusDisciplineTest, ConsumedServingCallsAreClean) {
+  const std::string source = R"(
+util::Status Operate(daemon::Daemon* server, daemon::Transport* transport) {
+  CHAMELEON_RETURN_NOT_OK(server->Resume());
+  CHAMELEON_RETURN_NOT_OK(daemon::WriteFrame(transport, "{}"));
+  return server->Serve();
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
+TEST(StatusDisciplineTest, SeededSubmitGoesAmbiguousAgainstThreadPool) {
+  // "Submit" is seeded for Daemon's admission control, but the live tree
+  // also declares util::ThreadPool::Submit returning a discardable
+  // future. A TU that sees the pool declaration drops the name to
+  // ambiguous, so fire-and-forget pool submissions stay clean.
+  const std::string source = R"(
+struct ThreadPool { std::future<void> Submit(std::function<void()> fn); };
+void Dispatch(ThreadPool* pool) {
+  pool->Submit([] {});
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
 TEST(StatusDisciplineTest, NolintSuppressesMustUseFindings) {
   const std::string source =
       "void Instrument(obs::Tracer* tracer) {\n"

@@ -1,0 +1,637 @@
+// Chaos harness for chameleond: frame protocol corruption, admission
+// control, per-request deadlines/cancellation, fault-masked bit
+// identity, transport fault injection, graceful drain, and journal
+// resume. The invariants under test: the daemon never crashes, never
+// leaks a request slot (stats().active == 0 after Serve), and requests
+// whose faults were fully masked are bit-identical to clean runs.
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/chameleon.h"
+#include "src/datasets/feret.h"
+#include "src/embedding/simulated_embedder.h"
+#include "src/fm/evaluator_pool.h"
+#include "src/fm/flaky_foundation_model.h"
+#include "src/fm/resilient_foundation_model.h"
+#include "src/fm/simulated_foundation_model.h"
+#include "src/util/status.h"
+#include "tools/chameleond/daemon.h"
+#include "tools/chameleond/frame.h"
+#include "tools/chameleond/protocol.h"
+#include "tools/chameleond/transport.h"
+#include "tools/obsctl/json.h"
+
+namespace chameleon::daemon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+void SendPayload(Transport* transport, const std::string& payload) {
+  util::Status sent = WriteFrame(transport, payload);
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+}
+
+/// Reads frames until one matches `type` (and `id`, when non-empty).
+/// Unrelated frames in between (acks racing reports) are skipped.
+obsctl::JsonValue AwaitFrame(Transport* transport, const std::string& type,
+                             const std::string& id = "") {
+  while (true) {
+    FrameReadResult result = ReadFrame(transport);
+    if (result.kind != FrameReadResult::Kind::kFrame) {
+      ADD_FAILURE() << "stream ended while waiting for a '" << type
+                    << "' frame (kind " << static_cast<int>(result.kind)
+                    << "): " << result.status.ToString();
+      return obsctl::JsonValue();
+    }
+    auto json = obsctl::ParseJson(result.payload);
+    if (!json.ok()) {
+      ADD_FAILURE() << "unparseable frame: " << result.payload;
+      return obsctl::JsonValue();
+    }
+    if (json->StringOr("type", "") != type) continue;
+    if (!id.empty() && json->StringOr("id", "") != id) continue;
+    return *json;
+  }
+}
+
+/// Collects `count` report frames in arrival order (completions of
+/// concurrent requests are not ordered), keyed by request id.
+std::map<std::string, obsctl::JsonValue> CollectReports(Transport* transport,
+                                                        size_t count) {
+  std::map<std::string, obsctl::JsonValue> reports;
+  while (reports.size() < count) {
+    FrameReadResult result = ReadFrame(transport);
+    if (result.kind != FrameReadResult::Kind::kFrame) {
+      ADD_FAILURE() << "stream ended after " << reports.size() << " of "
+                    << count << " reports: " << result.status.ToString();
+      return reports;
+    }
+    auto json = obsctl::ParseJson(result.payload);
+    if (!json.ok() || json->StringOr("type", "") != "report") continue;
+    reports[json->StringOr("id", "")] = *json;
+  }
+  return reports;
+}
+
+/// A daemon serving one PipePair connection on a background thread.
+class RunningDaemon {
+ public:
+  explicit RunningDaemon(const DaemonOptions& options = DaemonOptions(),
+                         Transport* server_override = nullptr)
+      : daemon_(server_override != nullptr ? server_override : pipe_.server(),
+                options) {}
+
+  void Start(bool resume = false) {
+    if (resume) {
+      util::Status resumed = daemon_.Resume();
+      ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+    }
+    thread_ = std::thread([this] { serve_status_ = daemon_.Serve(); });
+  }
+
+  /// Closes the client's write side (server sees EOF) and joins Serve.
+  void Finish() {
+    if (!thread_.joinable()) return;
+    pipe_.client()->Close();
+    thread_.join();
+  }
+
+  ~RunningDaemon() { Finish(); }
+
+  Transport* client() { return pipe_.client(); }
+  Transport* raw_server() { return pipe_.server(); }
+  Daemon& daemon() { return daemon_; }
+  const util::Status& serve_status() const { return serve_status_; }
+
+ private:
+  PipePair pipe_;
+  Daemon daemon_;
+  std::thread thread_;
+  util::Status serve_status_ = util::Status::Ok();
+};
+
+/// Frame-layer fault injector for the chaos tests: dribbles reads into
+/// tiny chunks and injects spurious "interrupted" results, the two
+/// transport-level failure modes a daemon over a real pipe sees short
+/// of disconnection.
+class FlakyTransport : public Transport {
+ public:
+  struct Options {
+    size_t max_read_chunk = 0;          ///< 0 = unlimited
+    int unavailable_every = 0;          ///< every Nth read is interrupted
+  };
+
+  FlakyTransport(Transport* wrapped, const Options& options)
+      : wrapped_(wrapped), options_(options) {}
+
+  [[nodiscard]] util::Result<size_t> Read(char* out, size_t max) override {
+    const int64_t n = ++reads_;
+    if (options_.unavailable_every > 0 &&
+        n % options_.unavailable_every == 0) {
+      return util::Status::Unavailable("injected spurious interrupt");
+    }
+    size_t limit = max;
+    if (options_.max_read_chunk > 0 && options_.max_read_chunk < limit) {
+      limit = options_.max_read_chunk;
+    }
+    return wrapped_->Read(out, limit);
+  }
+
+  [[nodiscard]] util::Status Write(const char* data, size_t size) override {
+    return wrapped_->Write(data, size);
+  }
+
+  void WakeReader() override { wrapped_->WakeReader(); }
+  void Close() override { wrapped_->Close(); }
+
+ private:
+  Transport* wrapped_;
+  Options options_;
+  std::atomic<int64_t> reads_{0};
+};
+
+/// Runs the identical micro repair directly against core::Chameleon —
+/// the reference digest every daemon-served clean run must match.
+std::string DirectMicroDigest(const RepairRequestSpec& spec) {
+  embedding::SimulatedEmbedder embedder;
+  fm::EvaluatorPool evaluators(2024);
+  auto corpus = MakeMicroCorpus(&embedder);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  fm::SimulatedFoundationModel sim(
+      corpus->dataset.schema(), datasets::FeretFaceStyleFn(),
+      datasets::FeretScene(), fm::SimulatedFoundationModel::Options());
+  fm::ResilientFoundationModel resilient(&sim, spec.resilience);
+  core::ChameleonOptions options;
+  options.tau = spec.tau;
+  options.seed = spec.seed;
+  options.max_queries = spec.max_queries;
+  options.rejection_batch = spec.rejection_batch;
+  options.num_threads = spec.num_threads;
+  core::Chameleon system(&resilient, &embedder, &evaluators, options);
+  auto report = system.RepairMinLevelMups(&*corpus);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? ReportDigest(*report) : "";
+}
+
+RepairRequestSpec MicroSpec(const std::string& id) {
+  RepairRequestSpec spec;
+  spec.id = id;
+  return spec;
+}
+
+/// Fault mix the resilience layer can always mask: transients only, an
+/// effectively infinite retry budget, and a breaker that never opens.
+RepairRequestSpec MaskedFaultSpec(const std::string& id) {
+  RepairRequestSpec spec = MicroSpec(id);
+  spec.has_faults = true;
+  spec.faults.transient_rate = 0.3;
+  spec.resilience.max_attempts = 64;
+  spec.resilience.breaker_failure_threshold = 1 << 30;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol basics
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, PingPongAndCleanShutdownOnEof) {
+  RunningDaemon server;
+  server.Start();
+  SendPayload(server.client(), RenderPing());
+  AwaitFrame(server.client(), "pong");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  const DaemonStats stats = server.daemon().stats();
+  EXPECT_EQ(stats.frames, 1);
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST(DaemonTest, SingleRepairMatchesDirectRun) {
+  const RepairRequestSpec spec = MicroSpec("r1");
+  const std::string expected = DirectMicroDigest(spec);
+  ASSERT_FALSE(expected.empty());
+
+  RunningDaemon server;
+  server.Start();
+  SendPayload(server.client(), RenderRepairRequest(spec));
+  AwaitFrame(server.client(), "ack", "r1");
+  obsctl::JsonValue report = AwaitFrame(server.client(), "report", "r1");
+  EXPECT_EQ(report.StringOr("records_digest", ""), expected);
+  EXPECT_EQ(report.StringOr("status", ""), "ok");
+  EXPECT_GT(report.IntOr("accepted", 0), 0);
+  server.Finish();
+  EXPECT_EQ(server.daemon().stats().active, 0);
+}
+
+TEST(DaemonTest, FaultMaskedRepairBitIdenticalToCleanRun) {
+  const std::string clean = DirectMicroDigest(MicroSpec("direct"));
+  ASSERT_FALSE(clean.empty());
+
+  RunningDaemon server;
+  server.Start();
+  SendPayload(server.client(), RenderRepairRequest(MaskedFaultSpec("r1")));
+  obsctl::JsonValue report = AwaitFrame(server.client(), "report", "r1");
+  // Masked faults must be invisible in the result: identical digest,
+  // while faults_masked proves the faults actually fired.
+  EXPECT_EQ(report.StringOr("records_digest", ""), clean);
+  EXPECT_EQ(report.StringOr("status", ""), "ok");
+  EXPECT_GT(report.IntOr("faults_masked", 0), 0);
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol corruption: each kind yields a structured error frame, never
+// a crash, and (where the stream survives) a healthy next request.
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, TruncatedLengthPrefixReportsErrorAndDrains) {
+  RunningDaemon server;
+  server.Start();
+  // Two bytes of a length prefix, then disconnect: a torn write.
+  util::Status sent = server.client()->Write("\x05\x00", 2);
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  server.client()->Close();
+  obsctl::JsonValue error = AwaitFrame(server.client(), "error");
+  EXPECT_EQ(error.StringOr("code", ""), "InvalidArgument");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  EXPECT_EQ(server.daemon().stats().protocol_errors, 1);
+  EXPECT_EQ(server.daemon().stats().active, 0);
+}
+
+TEST(DaemonTest, OversizedFrameRejectedAndNextRequestHealthy) {
+  RunningDaemon server;
+  server.Start();
+  // A 2 MiB declared frame: over the 1 MiB payload bound but under the
+  // discard bound, so the daemon must swallow the body and recover.
+  const uint32_t declared = 2u << 20;
+  std::string wire;
+  wire.push_back(static_cast<char>(declared & 0xFF));
+  wire.push_back(static_cast<char>((declared >> 8) & 0xFF));
+  wire.push_back(static_cast<char>((declared >> 16) & 0xFF));
+  wire.push_back(static_cast<char>((declared >> 24) & 0xFF));
+  wire.append(declared, 'x');
+  util::Status sent = server.client()->Write(wire.data(), wire.size());
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  obsctl::JsonValue error = AwaitFrame(server.client(), "error");
+  EXPECT_EQ(error.StringOr("code", ""), "InvalidArgument");
+
+  SendPayload(server.client(), RenderPing());
+  AwaitFrame(server.client(), "pong");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  EXPECT_EQ(server.daemon().stats().protocol_errors, 1);
+}
+
+TEST(DaemonTest, InvalidUtf8AndInvalidJsonRejectedAndRecovered) {
+  RunningDaemon server;
+  server.Start();
+  SendPayload(server.client(), "\xff\xfe{\"type\":\"ping\"}");
+  obsctl::JsonValue utf8_error = AwaitFrame(server.client(), "error");
+  EXPECT_EQ(utf8_error.StringOr("code", ""), "InvalidArgument");
+
+  SendPayload(server.client(), "{\"type\":\"ping\"");  // unterminated
+  obsctl::JsonValue json_error = AwaitFrame(server.client(), "error");
+  EXPECT_EQ(json_error.StringOr("code", ""), "InvalidArgument");
+
+  SendPayload(server.client(), RenderPing());
+  AwaitFrame(server.client(), "pong");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  EXPECT_EQ(server.daemon().stats().protocol_errors, 2);
+}
+
+TEST(DaemonTest, DuplicateRequestIdRejected) {
+  RunningDaemon server;
+  server.Start();
+  SendPayload(server.client(), RenderRepairRequest(MicroSpec("dup")));
+  AwaitFrame(server.client(), "ack", "dup");
+  AwaitFrame(server.client(), "report", "dup");
+  // The id stays burned even after the request finished.
+  SendPayload(server.client(), RenderRepairRequest(MicroSpec("dup")));
+  obsctl::JsonValue error = AwaitFrame(server.client(), "error", "dup");
+  EXPECT_EQ(error.StringOr("code", ""), "InvalidArgument");
+  server.Finish();
+  EXPECT_EQ(server.daemon().stats().rejected_duplicate, 1);
+  EXPECT_EQ(server.daemon().stats().completed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and backpressure
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, OverloadRejectedWithResourceExhausted) {
+  DaemonOptions options;
+  options.max_queue = 2;
+  options.max_inflight_per_client = 1;
+  options.num_threads = 1;
+  RunningDaemon server(options);
+  server.Start();
+
+  // A long-running request (tau 40 needs ~1600 attempts) occupies the
+  // single worker while the rejections below are exercised.
+  RepairRequestSpec r1 = MicroSpec("r1");
+  r1.client = "a";
+  r1.tau = 40;
+  SendPayload(server.client(), RenderRepairRequest(r1));
+  AwaitFrame(server.client(), "ack", "r1");
+
+  RepairRequestSpec r2 = MicroSpec("r2");
+  r2.client = "a";
+  SendPayload(server.client(), RenderRepairRequest(r2));
+  obsctl::JsonValue per_client = AwaitFrame(server.client(), "error", "r2");
+  EXPECT_EQ(per_client.StringOr("code", ""), "ResourceExhausted");
+
+  RepairRequestSpec r3 = MicroSpec("r3");
+  r3.client = "b";
+  SendPayload(server.client(), RenderRepairRequest(r3));
+  AwaitFrame(server.client(), "ack", "r3");
+
+  RepairRequestSpec r4 = MicroSpec("r4");
+  r4.client = "c";
+  SendPayload(server.client(), RenderRepairRequest(r4));
+  obsctl::JsonValue overload = AwaitFrame(server.client(), "error", "r4");
+  EXPECT_EQ(overload.StringOr("code", ""), "ResourceExhausted");
+
+  AwaitFrame(server.client(), "report", "r1");
+  AwaitFrame(server.client(), "report", "r3");
+  server.Finish();
+  const DaemonStats stats = server.daemon().stats();
+  EXPECT_EQ(stats.accepted, 2);
+  EXPECT_EQ(stats.rejected_overload, 2);
+  EXPECT_EQ(stats.active, 0);  // rejected requests must not leak slots
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, CancelReturnsPartialReport) {
+  RunningDaemon server;
+  server.Start();
+  RepairRequestSpec spec = MicroSpec("slow");
+  spec.tau = 40;
+  SendPayload(server.client(), RenderRepairRequest(spec));
+  AwaitFrame(server.client(), "ack", "slow");
+  SendPayload(server.client(), RenderCancelRequest("slow"));
+  obsctl::JsonValue report = AwaitFrame(server.client(), "report", "slow");
+  EXPECT_EQ(report.StringOr("status", ""), "cancelled");
+  EXPECT_GE(report.IntOr("parked_entries", 0), 1);
+  server.Finish();
+  const DaemonStats stats = server.daemon().stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.active, 0);
+}
+
+TEST(DaemonTest, CancelUnknownIdIsNotFound) {
+  RunningDaemon server;
+  server.Start();
+  SendPayload(server.client(), RenderCancelRequest("ghost"));
+  obsctl::JsonValue error = AwaitFrame(server.client(), "error", "ghost");
+  EXPECT_EQ(error.StringOr("code", ""), "NotFound");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+}
+
+TEST(DaemonTest, DeadlineExpiresIntoPartialReport) {
+  RunningDaemon server;
+  server.Start();
+  RepairRequestSpec spec = MicroSpec("dl");
+  spec.tau = 40;
+  spec.deadline_ms = 50.0;  // ~5 queries at the default 10 ms per attempt
+  SendPayload(server.client(), RenderRepairRequest(spec));
+  obsctl::JsonValue report = AwaitFrame(server.client(), "report", "dl");
+  EXPECT_EQ(report.StringOr("status", ""), "deadline");
+  EXPECT_GE(report.IntOr("parked_entries", 0), 1);
+  EXPECT_GE(report.NumberOr("virtual_ms", 0.0), 50.0);
+  server.Finish();
+  EXPECT_EQ(server.daemon().stats().active, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, ShutdownFrameDrainsInFlightRequests) {
+  DaemonOptions options;
+  // Far beyond the request's worst-case runtime even under sanitizers:
+  // this test pins the voluntary-finish path, so the drain must never
+  // hit its deadline and cancel (the test below covers that path).
+  options.drain_wait_ms = 300000.0;
+  RunningDaemon server(options);
+  server.Start();
+  RepairRequestSpec spec = MicroSpec("inflight");
+  spec.tau = 40;
+  SendPayload(server.client(), RenderRepairRequest(spec));
+  AwaitFrame(server.client(), "ack", "inflight");
+  SendPayload(server.client(), RenderShutdown());
+  AwaitFrame(server.client(), "ack", "shutdown");
+  // The drain must still deliver the in-flight request's report.
+  obsctl::JsonValue report = AwaitFrame(server.client(), "report", "inflight");
+  EXPECT_EQ(report.StringOr("status", ""), "ok");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  EXPECT_EQ(server.daemon().stats().active, 0);
+}
+
+TEST(DaemonTest, RequestShutdownCancelsStragglersPastDrainDeadline) {
+  DaemonOptions options;
+  options.drain_wait_ms = 20.0;  // force the cancel path
+  RunningDaemon server(options);
+  server.Start();
+  RepairRequestSpec spec = MicroSpec("straggler");
+  spec.tau = 40;
+  SendPayload(server.client(), RenderRepairRequest(spec));
+  AwaitFrame(server.client(), "ack", "straggler");
+  server.daemon().RequestShutdown();  // the SIGTERM path, sans signal
+  obsctl::JsonValue report = AwaitFrame(server.client(), "report",
+                                        "straggler");
+  EXPECT_EQ(report.StringOr("status", ""), "cancelled");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  EXPECT_EQ(server.daemon().stats().active, 0);
+}
+
+TEST(DaemonTest, MidRequestDisconnectStillFinishesAndJournals) {
+  const std::string journal_path =
+      testing::TempDir() + "/daemon_disconnect.jsonl";
+  DaemonOptions options;
+  options.journal_path = journal_path;
+  RunningDaemon server(options);
+  server.Start();
+  SendPayload(server.client(), RenderRepairRequest(MicroSpec("orphan")));
+  AwaitFrame(server.client(), "ack", "orphan");
+  // Client vanishes mid-request; the daemon must finish the repair,
+  // journal req.end, and drain without crashing.
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  const DaemonStats stats = server.daemon().stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.active, 0);
+
+  std::ifstream in(journal_path);
+  ASSERT_TRUE(in.is_open());
+  bool saw_end = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto event = obsctl::ParseJson(line);
+    if (event.ok() && event->StringOr("type", "") == "req.end" &&
+        event->StringOr("id", "") == "orphan") {
+      saw_end = true;
+      EXPECT_EQ(event->StringOr("status", ""), "ok");
+    }
+  }
+  EXPECT_TRUE(saw_end);
+}
+
+// ---------------------------------------------------------------------------
+// Transport chaos
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, FlakyTransportChaosEightConcurrent) {
+  const std::string clean = DirectMicroDigest(MicroSpec("direct"));
+  ASSERT_FALSE(clean.empty());
+
+  PipePair pipe;
+  FlakyTransport::Options chaos;
+  chaos.max_read_chunk = 1;      // dribble every frame byte by byte
+  chaos.unavailable_every = 7;   // plus periodic spurious interrupts
+  FlakyTransport flaky(pipe.server(), chaos);
+  DaemonOptions options;
+  options.num_threads = 4;
+  Daemon daemon(&flaky, options);
+  util::Status serve_status = util::Status::Ok();
+  std::thread thread([&] { serve_status = daemon.Serve(); });
+
+  for (int i = 0; i < 8; ++i) {
+    RepairRequestSpec spec = MaskedFaultSpec("r" + std::to_string(i));
+    spec.client = "c" + std::to_string(i);
+    SendPayload(pipe.client(), RenderRepairRequest(spec));
+  }
+  std::map<std::string, obsctl::JsonValue> reports =
+      CollectReports(pipe.client(), 8);
+  ASSERT_EQ(reports.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const std::string id = "r" + std::to_string(i);
+    ASSERT_TRUE(reports.count(id)) << "no report for " << id;
+    // Full isolation: every request masks its own faults and lands on
+    // the clean digest, regardless of scheduling and transport chaos.
+    EXPECT_EQ(reports[id].StringOr("records_digest", ""), clean) << id;
+    EXPECT_EQ(reports[id].StringOr("status", ""), "ok") << id;
+  }
+  pipe.client()->Close();
+  thread.join();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST(DaemonTest, ConcurrentIsolationOneClientAtFullFaultRate) {
+  const std::string clean = DirectMicroDigest(MicroSpec("direct"));
+  ASSERT_FALSE(clean.empty());
+
+  DaemonOptions options;
+  options.num_threads = 2;
+  RunningDaemon server(options);
+  server.Start();
+
+  // "bad" fails every backend call and exhausts its tiny retry budget;
+  // "good" runs concurrently and must be bit-identical to a clean run.
+  RepairRequestSpec bad = MicroSpec("bad");
+  bad.client = "chaos";
+  bad.has_faults = true;
+  bad.faults.transient_rate = 1.0;
+  bad.resilience.max_attempts = 2;
+  SendPayload(server.client(), RenderRepairRequest(bad));
+  RepairRequestSpec good = MicroSpec("good");
+  good.client = "steady";
+  SendPayload(server.client(), RenderRepairRequest(good));
+
+  std::map<std::string, obsctl::JsonValue> reports =
+      CollectReports(server.client(), 2);
+  ASSERT_TRUE(reports.count("bad") && reports.count("good"));
+  EXPECT_EQ(reports["bad"].StringOr("status", ""), "parked");
+  EXPECT_EQ(reports["bad"].IntOr("accepted", -1), 0);
+  EXPECT_EQ(reports["good"].StringOr("status", ""), "ok");
+  EXPECT_EQ(reports["good"].StringOr("records_digest", ""), clean);
+  server.Finish();
+  EXPECT_EQ(server.daemon().stats().active, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Crash tolerance: journal resume
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, ResumeReparksInterruptedRequests) {
+  const std::string journal_path = testing::TempDir() + "/daemon_crash.jsonl";
+  {
+    // A journal as left by a daemon killed mid-request: "done" finished,
+    // "lost" was accepted but never ended, and the final line is ragged.
+    std::ofstream out(journal_path, std::ios::trunc);
+    out << R"({"type":"daemon.start","tick":1,"max_queue":32})" << "\n";
+    out << R"({"type":"req.accepted","tick":2,"id":"done","client":"a",)"
+        << R"("dataset":"micro","tau":6,"seed":11,"deadline_ms":0})" << "\n";
+    out << R"({"type":"req.accepted","tick":3,"id":"lost","client":"a",)"
+        << R"("dataset":"micro","tau":6,"seed":11,"deadline_ms":0})" << "\n";
+    out << R"({"type":"req.end","tick":4,"id":"done","status":"ok"})" << "\n";
+    out << R"({"type":"req.start","tick":5,"id":"lost"})" << "\n";
+    out << R"({"type":"req.acce)";  // torn write from the crash
+  }
+
+  DaemonOptions options;
+  options.journal_path = journal_path;
+  RunningDaemon server(options);
+  server.Start(/*resume=*/true);
+
+  obsctl::JsonValue resumed = AwaitFrame(server.client(), "resumed");
+  EXPECT_EQ(resumed.StringOr("id", ""), "lost");
+  EXPECT_EQ(resumed.StringOr("state", ""), "re-parked");
+
+  // Both recovered ids are burned against reuse.
+  SendPayload(server.client(), RenderRepairRequest(MicroSpec("lost")));
+  EXPECT_EQ(AwaitFrame(server.client(), "error", "lost")
+                .StringOr("code", ""),
+            "InvalidArgument");
+  SendPayload(server.client(), RenderRepairRequest(MicroSpec("done")));
+  EXPECT_EQ(AwaitFrame(server.client(), "error", "done")
+                .StringOr("code", ""),
+            "InvalidArgument");
+
+  // Fresh traffic is healthy after a resume.
+  SendPayload(server.client(), RenderRepairRequest(MicroSpec("fresh")));
+  AwaitFrame(server.client(), "report", "fresh");
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  EXPECT_EQ(server.daemon().stats().resumed, 1);
+
+  // The journal was compacted: the new stream records the recovery.
+  std::ifstream in(journal_path);
+  ASSERT_TRUE(in.is_open());
+  bool saw_resumed = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto event = obsctl::ParseJson(line);
+    if (event.ok() && event->StringOr("type", "") == "req.resumed" &&
+        event->StringOr("id", "") == "lost") {
+      saw_resumed = true;
+    }
+  }
+  EXPECT_TRUE(saw_resumed);
+}
+
+}  // namespace
+}  // namespace chameleon::daemon

@@ -11,6 +11,7 @@
 #include "src/core/chameleon.h"
 #include "src/datasets/feret.h"
 #include "src/embedding/simulated_embedder.h"
+#include "src/fm/deadline.h"
 #include "src/fm/evaluator_pool.h"
 #include "src/fm/flaky_foundation_model.h"
 #include "src/fm/foundation_model.h"
@@ -443,7 +444,7 @@ struct PipelineRun {
 /// runs the bare simulator (the fault-free reference).
 PipelineRun RunRepair(const fm::FlakyOptions* flaky,
                       const fm::ResilienceOptions* resilience,
-                      int num_threads) {
+                      int num_threads, fm::Deadline* deadline = nullptr) {
   embedding::SimulatedEmbedder embedder;
   fm::EvaluatorPool evaluators(2024);
   fm::Corpus corpus =
@@ -470,6 +471,7 @@ PipelineRun RunRepair(const fm::FlakyOptions* flaky,
   options.seed = 11;
   options.num_threads = num_threads;
   options.rejection_batch = 4;
+  options.deadline = deadline;
   Chameleon system(model, &embedder, &evaluators, options);
   auto report = system.RepairMinLevelMups(&corpus);
   EXPECT_TRUE(report.ok());
@@ -517,6 +519,48 @@ TEST(PipelineFaultDeterminismTest, MaskedFaultsPreserveAcceptedTuples) {
     EXPECT_EQ(faulty.report.faults.transport.failed_queries, 0);
     EXPECT_EQ(faulty.report.faults.parked_entries(), 0);
   }
+}
+
+TEST(PipelineFaultIsolationTest, ConcurrentRequestStacksShareNoState) {
+  // The serving layer runs many requests on one process, each with its
+  // own ResilientFoundationModel and fm::Deadline. Regression test for
+  // per-request isolation: a 100%-fault request running concurrently
+  // must not perturb a clean request's results, retries, or virtual
+  // clock — both must match their serial references bit for bit.
+  const PipelineRun clean_ref = RunRepair(nullptr, nullptr, /*threads=*/1);
+  fm::FlakyOptions dead;
+  dead.fail_from_query = 0;
+  fm::ResilienceOptions dead_resilience;
+  fm::Deadline dead_deadline_ref(200.0);
+  const PipelineRun dead_ref =
+      RunRepair(&dead, &dead_resilience, /*threads=*/1, &dead_deadline_ref);
+
+  PipelineRun clean_run;
+  PipelineRun dead_run;
+  fm::Deadline dead_deadline(200.0);
+  std::thread dead_thread([&] {
+    dead_run = RunRepair(&dead, &dead_resilience, /*threads=*/1,
+                         &dead_deadline);
+  });
+  clean_run = RunRepair(nullptr, nullptr, /*threads=*/1);
+  dead_thread.join();
+
+  // The clean request is untouched by its dying neighbor.
+  ExpectSameAcceptedTuples(clean_ref.report, clean_run.report);
+  EXPECT_EQ(clean_run.report.faults.transport.retries, 0)
+      << "faults leaked across request stacks";
+  EXPECT_FALSE(clean_run.report.deadline_expired);
+
+  // The dying request behaved exactly as it does alone: same parking,
+  // same breaker behavior, same virtual-clock consumption.
+  EXPECT_EQ(dead_run.report.accepted, 0);
+  EXPECT_EQ(dead_run.report.faults.parked_entries(),
+            dead_ref.report.faults.parked_entries());
+  EXPECT_EQ(dead_run.report.faults.transport.breaker_opens,
+            dead_ref.report.faults.transport.breaker_opens);
+  EXPECT_EQ(dead_run.report.faults.transport.attempts,
+            dead_ref.report.faults.transport.attempts);
+  EXPECT_DOUBLE_EQ(dead_deadline.ElapsedMs(), dead_deadline_ref.ElapsedMs());
 }
 
 TEST(PipelineDegradationTest, DeadBackendParksEverythingAndTerminates) {

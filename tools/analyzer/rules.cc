@@ -136,6 +136,17 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
       "WriteJson",          // bench::BenchJsonReport
       "StreamTo",           // obs Journal/Tracer streaming sinks
       "CloseStream",
+      // The chameleond serving layer (tools/chameleond). "Submit" also
+      // names util::ThreadPool::Submit (future<void>, discardable), but
+      // the scan sees that declaration and the name drops out as
+      // ambiguous — seeding it still covers TUs that only see daemon.h.
+      "Serve",              // daemon::Daemon — the whole serve loop
+      "Submit",             // daemon::Daemon admission control
+      "Cancel",             // daemon::Daemon — NotFound is meaningful
+      "Drain",              // daemon::Daemon — a dropped drain status
+                            // hides a forced (cancelled-straggler) exit
+      "Resume",             // daemon::Daemon journal recovery
+      "WriteFrame",         // daemon frame codec
   };
   for (const char* name : kKnownStatusApis) {
     registry->status_returning.insert(name);

@@ -8,7 +8,8 @@
 # Expects -DLINT=<chameleon-lint binary> -DROOT=<repo root>
 #         -DWORK_DIR=<scratch dir for sarif files>.
 
-set(lint_args --root=${ROOT} src tests tools/analyzer tools/obsctl)
+set(lint_args --root=${ROOT} src tests tools/analyzer tools/obsctl
+    tools/chameleond)
 
 execute_process(
   COMMAND ${LINT} --jobs=1 --sarif=${WORK_DIR}/selfhost_j1.sarif ${lint_args}

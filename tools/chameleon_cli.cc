@@ -25,8 +25,11 @@
 // flags export metrics / spans / the run journal as JSONL files.
 // Instrumentation never changes which tuples are accepted.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -39,6 +42,7 @@
 #include "src/embedding/simulated_embedder.h"
 #include "src/fm/backend_pool.h"
 #include "src/fm/corpus_io.h"
+#include "src/fm/deadline.h"
 #include "src/fm/evaluator_pool.h"
 #include "src/fm/foundation_model.h"
 #include "src/fm/simulated_foundation_model.h"
@@ -49,6 +53,19 @@
 namespace {
 
 using namespace chameleon;
+
+/// The in-flight repair's cancel hook. SIGINT/SIGTERM mark it cancelled
+/// (an atomic store — async-signal-safe); the rejection loop observes
+/// the flag at its next round boundary, parks the remaining plan, and
+/// the normal exit path finalizes every streamed sink. A killed run
+/// therefore leaves journals and traces `obsctl report` accepts, not
+/// ragged files.
+std::atomic<fm::Deadline*> g_repair_deadline{nullptr};
+
+void HandleRepairSignal(int /*signum*/) {
+  fm::Deadline* deadline = g_repair_deadline.load(std::memory_order_acquire);
+  if (deadline != nullptr) deadline->MarkCancelled();
+}
 
 /// Minimal --key=value parser.
 class Flags {
@@ -302,6 +319,21 @@ int CmdRepair(const Flags& flags) {
     }
   }
 
+  // Graceful interruption: Ctrl-C cancels the run's Deadline instead of
+  // killing the process, so the partial repair still reports and every
+  // streamed sink is closed through the normal path below.
+  fm::Deadline deadline;
+  options.deadline = &deadline;
+  g_repair_deadline.store(&deadline, std::memory_order_release);
+  struct sigaction signal_action;
+  struct sigaction previous_int;
+  struct sigaction previous_term;
+  std::memset(&signal_action, 0, sizeof(signal_action));
+  signal_action.sa_handler = HandleRepairSignal;
+  sigemptyset(&signal_action.sa_mask);
+  sigaction(SIGINT, &signal_action, &previous_int);
+  sigaction(SIGTERM, &signal_action, &previous_term);
+
   fm::SimulatedFoundationModel model(loaded.corpus.dataset.schema(),
                                      loaded.style_fn, loaded.scene,
                                      fm::SimulatedFoundationModel::Options());
@@ -318,10 +350,27 @@ int CmdRepair(const Flags& flags) {
   const fm::EvaluatorPool evaluators(flags.GetInt("evaluator_seed", 2024));
   core::Chameleon system(fm_model, &embedder, &evaluators, options);
   auto report = system.RepairMinLevelMups(&loaded.corpus);
+  sigaction(SIGINT, &previous_int, nullptr);
+  sigaction(SIGTERM, &previous_term, nullptr);
+  g_repair_deadline.store(nullptr, std::memory_order_release);
   if (!report.ok()) {
     std::fprintf(stderr, "repair failed: %s\n",
                  report.status().ToString().c_str());
+    // Even a failed run finalizes its streamed sinks: the on-disk prefix
+    // stays a well-formed JSONL file obsctl can analyze.
+    if (!trace_out.empty()) {
+      static_cast<void>(observability.tracer.CloseStream());
+    }
+    if (!journal_out.empty()) {
+      static_cast<void>(observability.journal.CloseStream());
+    }
     return 1;
+  }
+  if (report->cancelled) {
+    std::printf("interrupted: repair stopped at a round boundary; "
+                "%lld plan entr%s parked\n",
+                static_cast<long long>(report->faults.parked_entries()),
+                report->faults.parked_entries() == 1 ? "y" : "ies");
   }
 
   std::printf("repaired %zu MUP(s): %lld queries, %lld accepted (%.0f%%), "

@@ -1,0 +1,116 @@
+// chameleond: the Chameleon repair daemon. Speaks the length-prefixed
+// JSONL frame protocol on stdin/stdout; see DESIGN.md §13 and README
+// "Running as a service".
+//
+//   chameleond --journal=daemon.jsonl --resume --max-queue=32 \
+//              --max-inflight=8 --threads=4 --drain-wait-ms=5000
+//
+// SIGINT/SIGTERM trigger a graceful drain: admissions close, in-flight
+// repairs finish (or are cancelled at the drain deadline and report
+// partial results), journals are finalized, and the process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tools/chameleond/daemon.h"
+#include "tools/chameleond/transport.h"
+
+namespace {
+
+chameleon::daemon::Daemon* g_daemon = nullptr;
+
+// Async-signal-safe: an atomic store plus FdTransport::WakeReader (a
+// no-op — the handler being installed without SA_RESTART makes the
+// blocked read return EINTR, which the serve loop maps to a shutdown
+// check).
+void HandleSignal(int /*signum*/) {
+  if (g_daemon != nullptr) g_daemon->RequestShutdown();
+}
+
+bool ParseIntFlag(const char* arg, const char* name, int* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atoi(arg + len + 1);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atof(arg + len + 1);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: chameleond [--journal=PATH] [--resume] [--max-queue=N]\n"
+      "                  [--max-inflight=N] [--threads=N]\n"
+      "                  [--drain-wait-ms=MS]\n"
+      "Serves the chameleond frame protocol on stdin/stdout.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  chameleon::daemon::DaemonOptions options;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--journal=", 10) == 0) {
+      options.journal_path = arg + 10;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+    } else if (ParseIntFlag(arg, "--max-queue", &options.max_queue) ||
+               ParseIntFlag(arg, "--max-inflight",
+                            &options.max_inflight_per_client) ||
+               ParseIntFlag(arg, "--threads", &options.num_threads) ||
+               ParseDoubleFlag(arg, "--drain-wait-ms",
+                               &options.drain_wait_ms)) {
+      continue;
+    } else {
+      std::fprintf(stderr, "chameleond: unknown flag '%s'\n", arg);
+      return Usage();
+    }
+  }
+  if (options.max_queue < 1 || options.max_inflight_per_client < 1 ||
+      options.drain_wait_ms < 0.0) {
+    std::fprintf(stderr, "chameleond: invalid option values\n");
+    return Usage();
+  }
+
+  chameleon::daemon::FdTransport transport(/*read_fd=*/0, /*write_fd=*/1);
+  chameleon::daemon::Daemon daemon(&transport, options);
+  g_daemon = &daemon;
+
+  // No SA_RESTART: the signal must interrupt the blocked read so the
+  // serve loop observes the shutdown flag and drains.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  if (resume) {
+    chameleon::util::Status resumed = daemon.Resume();
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "chameleond: resume failed: %s\n",
+                   resumed.ToString().c_str());
+      return 1;
+    }
+  }
+
+  chameleon::util::Status served = daemon.Serve();
+  g_daemon = nullptr;
+  if (!served.ok()) {
+    std::fprintf(stderr, "chameleond: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

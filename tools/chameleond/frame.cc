@@ -1,0 +1,155 @@
+#include "tools/chameleond/frame.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace chameleon::daemon {
+namespace {
+
+enum class ReadOutcome { kDone, kEofClean, kEofPartial, kStopped, kError };
+
+/// Reads exactly `size` bytes into `out`, retrying interrupted reads
+/// unless `should_stop` says otherwise. kEofClean means the stream ended
+/// before the first byte; kEofPartial means it ended mid-way (a torn
+/// write or a killed peer).
+ReadOutcome ReadExact(Transport* transport, char* out, size_t size,
+                      const std::function<bool()>& should_stop,
+                      util::Status* error) {
+  size_t off = 0;
+  while (off < size) {
+    auto n = transport->Read(out + off, size - off);
+    if (!n.ok()) {
+      if (n.status().code() == util::StatusCode::kUnavailable) {
+        if (!should_stop || should_stop()) return ReadOutcome::kStopped;
+        continue;
+      }
+      *error = n.status();
+      return ReadOutcome::kError;
+    }
+    if (*n == 0) {
+      return off == 0 ? ReadOutcome::kEofClean : ReadOutcome::kEofPartial;
+    }
+    off += *n;
+  }
+  return ReadOutcome::kDone;
+}
+
+}  // namespace
+
+FrameReadResult ReadFrame(Transport* transport,
+                          const std::function<bool()>& should_stop) {
+  FrameReadResult result;
+
+  char prefix[4];
+  util::Status error = util::Status::Ok();
+  switch (ReadExact(transport, prefix, sizeof(prefix), should_stop, &error)) {
+    case ReadOutcome::kDone:
+      break;
+    case ReadOutcome::kEofClean:
+      result.kind = FrameReadResult::Kind::kEof;
+      return result;
+    case ReadOutcome::kEofPartial:
+      result.kind = FrameReadResult::Kind::kTruncated;
+      result.status = util::Status::IoError("stream ended inside a length "
+                                            "prefix (torn write)");
+      return result;
+    case ReadOutcome::kStopped:
+      result.kind = FrameReadResult::Kind::kInterrupted;
+      return result;
+    case ReadOutcome::kError:
+      result.kind = FrameReadResult::Kind::kError;
+      result.status = error;
+      return result;
+  }
+
+  const uint32_t declared =
+      static_cast<uint32_t>(static_cast<unsigned char>(prefix[0])) |
+      static_cast<uint32_t>(static_cast<unsigned char>(prefix[1])) << 8 |
+      static_cast<uint32_t>(static_cast<unsigned char>(prefix[2])) << 16 |
+      static_cast<uint32_t>(static_cast<unsigned char>(prefix[3])) << 24;
+
+  if (declared > kMaxFramePayload) {
+    result.declared_size = declared;
+    if (declared > kMaxDiscardBytes) {
+      // Almost certainly not our protocol (e.g. a text prefix read as a
+      // length). Discarding gigabytes to "resync" would hang the daemon
+      // on garbage; treat the stream as dead.
+      result.kind = FrameReadResult::Kind::kError;
+      result.status = util::Status::IoError(
+          "frame length " + std::to_string(declared) +
+          " exceeds the discard bound; stream is not speaking the "
+          "chameleond protocol");
+      return result;
+    }
+    // Discard the declared body so the next frame parses cleanly.
+    char scratch[4096];
+    size_t remaining = declared;
+    while (remaining > 0) {
+      const size_t chunk = std::min(remaining, sizeof(scratch));
+      switch (ReadExact(transport, scratch, chunk, should_stop, &error)) {
+        case ReadOutcome::kDone:
+          remaining -= chunk;
+          continue;
+        case ReadOutcome::kEofClean:
+        case ReadOutcome::kEofPartial:
+          result.kind = FrameReadResult::Kind::kTruncated;
+          result.status = util::Status::IoError(
+              "stream ended inside an oversized frame body");
+          return result;
+        case ReadOutcome::kStopped:
+          result.kind = FrameReadResult::Kind::kInterrupted;
+          return result;
+        case ReadOutcome::kError:
+          result.kind = FrameReadResult::Kind::kError;
+          result.status = error;
+          return result;
+      }
+    }
+    result.kind = FrameReadResult::Kind::kOversized;
+    return result;
+  }
+
+  result.payload.resize(declared);
+  if (declared > 0) {
+    switch (ReadExact(transport, result.payload.data(), declared, should_stop,
+                      &error)) {
+      case ReadOutcome::kDone:
+        break;
+      case ReadOutcome::kEofClean:
+      case ReadOutcome::kEofPartial:
+        result.kind = FrameReadResult::Kind::kTruncated;
+        result.status = util::Status::IoError(
+            "stream ended inside a frame body (torn write)");
+        return result;
+      case ReadOutcome::kStopped:
+        result.kind = FrameReadResult::Kind::kInterrupted;
+        return result;
+      case ReadOutcome::kError:
+        result.kind = FrameReadResult::Kind::kError;
+        result.status = error;
+        return result;
+    }
+  }
+  result.kind = FrameReadResult::Kind::kFrame;
+  return result;
+}
+
+util::Status WriteFrame(Transport* transport, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return util::Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds kMaxFramePayload");
+  }
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  wire.push_back(static_cast<char>(size & 0xFF));
+  wire.push_back(static_cast<char>((size >> 8) & 0xFF));
+  wire.push_back(static_cast<char>((size >> 16) & 0xFF));
+  wire.push_back(static_cast<char>((size >> 24) & 0xFF));
+  wire.append(payload);
+  return transport->Write(wire.data(), wire.size());
+}
+
+}  // namespace chameleon::daemon

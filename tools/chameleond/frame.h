@@ -1,0 +1,56 @@
+#ifndef CHAMELEON_TOOLS_CHAMELEOND_FRAME_H_
+#define CHAMELEON_TOOLS_CHAMELEOND_FRAME_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/status.h"
+#include "tools/chameleond/transport.h"
+
+namespace chameleon::daemon {
+
+/// Wire format: a 4-byte little-endian unsigned payload length followed
+/// by exactly that many payload bytes (one JSON document per frame — the
+/// JSONL frame protocol from DESIGN.md §13).
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB
+/// An oversized frame is resynchronized by discarding its declared body,
+/// up to this bound. Declared lengths beyond it are treated as stream
+/// garbage (a non-protocol peer): unrecoverable.
+inline constexpr uint32_t kMaxDiscardBytes = 64u << 20;  // 64 MiB
+
+struct FrameReadResult {
+  enum class Kind {
+    kFrame,        ///< `payload` holds one complete frame body.
+    kEof,          ///< Clean end of stream at a frame boundary.
+    kInterrupted,  ///< Read woken for shutdown (Transport kUnavailable).
+    kTruncated,    ///< Stream ended mid-frame: a torn write / hard kill.
+    kOversized,    ///< Declared length > kMaxFramePayload; body was
+                   ///< discarded and the stream is resynchronized at the
+                   ///< next frame. `declared_size` holds the length.
+    kError,        ///< Hard transport failure or unrecoverable garbage;
+                   ///< `status` explains. The connection is dead.
+  };
+
+  Kind kind = Kind::kError;
+  std::string payload;
+  uint32_t declared_size = 0;
+  util::Status status = util::Status::Ok();
+};
+
+/// Reads one frame. `should_stop` (optional) is consulted whenever the
+/// blocking read is interrupted (Transport kUnavailable): true stops the
+/// read and returns kInterrupted, false retries without losing partially
+/// read bytes. With no predicate, any interruption returns kInterrupted.
+FrameReadResult ReadFrame(Transport* transport,
+                          const std::function<bool()>& should_stop = nullptr);
+
+/// Writes one frame (length prefix + payload) as a single transport
+/// write, so a concurrent writer under its own lock can never interleave
+/// a torn prefix. Payloads beyond kMaxFramePayload are rejected.
+[[nodiscard]] util::Status WriteFrame(Transport* transport,
+                                      const std::string& payload);
+
+}  // namespace chameleon::daemon
+
+#endif  // CHAMELEON_TOOLS_CHAMELEOND_FRAME_H_

@@ -1,0 +1,95 @@
+#ifndef CHAMELEON_TOOLS_CHAMELEOND_PROTOCOL_H_
+#define CHAMELEON_TOOLS_CHAMELEOND_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/chameleon.h"
+#include "src/fm/flaky_foundation_model.h"
+#include "src/fm/resilient_foundation_model.h"
+#include "src/util/status.h"
+
+namespace chameleon::daemon {
+
+/// Datasets a request may target. All are in-tree synthetic corpora, so
+/// a request is fully self-describing: no server-side state beyond the
+/// request itself. kMicro is a deliberately small FERET-schema corpus
+/// (tests, benches, smoke traffic); kFeret/kUtkFace are the paper's.
+enum class DatasetKind { kMicro, kFeret, kUtkFace };
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// One repair request, as carried by a `repair` frame. Every field has a
+/// safe default, so a minimal frame is `{"type":"repair","id":"r1"}`.
+struct RepairRequestSpec {
+  std::string id;                  ///< required, unique per daemon lifetime
+  std::string client = "default";  ///< in-flight caps are per client
+  DatasetKind dataset = DatasetKind::kMicro;
+  int64_t tau = 6;
+  uint64_t seed = 11;
+  int64_t max_queries = 50000;
+  int rejection_batch = 4;
+  int num_threads = 1;
+  /// Per-request virtual-time budget (fm::Deadline); 0 = unlimited.
+  double deadline_ms = 0.0;
+  /// Optional fault injection below the request's resilience layer (the
+  /// chaos harness's scripted backend outages ride in here).
+  bool has_faults = false;
+  fm::FlakyOptions faults;
+  /// Per-request resilience configuration. Every request gets its own
+  /// ResilientFoundationModel built from this, so one request's breaker
+  /// or backoff can never affect another.
+  fm::ResilienceOptions resilience;
+};
+
+enum class FrameKind { kRepair, kCancel, kPing, kShutdown };
+
+struct ParsedFrame {
+  FrameKind kind = FrameKind::kPing;
+  std::string id;          ///< repair/cancel target id
+  RepairRequestSpec spec;  ///< kRepair only
+};
+
+/// Parses one client frame body: UTF-8 validation, JSON parse, type
+/// dispatch, field extraction. Any failure is kInvalidArgument with a
+/// message safe to echo into an error frame.
+[[nodiscard]] util::Result<ParsedFrame> ParseRequestFrame(
+    const std::string& payload);
+
+/// True when `text` is well-formed UTF-8 (the frame body contract; JSON
+/// escapes aside, the parser itself is byte-oriented and would happily
+/// pass raw Latin-1 through into journals).
+bool IsValidUtf8(const std::string& text);
+
+// --- server -> client frames -----------------------------------------------
+
+std::string RenderError(const std::string& id, util::StatusCode code,
+                        const std::string& message);
+std::string RenderAck(const std::string& id);
+std::string RenderPong();
+/// Final per-request report. `virtual_ms` is the request's consumed
+/// virtual-time budget (Deadline::ElapsedMs).
+std::string RenderReport(const std::string& id,
+                         const core::RepairReport& report, double virtual_ms);
+/// Emitted once per journal-recovered request on `--resume` startup.
+std::string RenderResumed(const std::string& id, const std::string& state);
+
+// --- client -> server frames (tests, benches, future CLI client) -----------
+
+std::string RenderRepairRequest(const RepairRequestSpec& spec);
+std::string RenderCancelRequest(const std::string& id);
+std::string RenderPing();
+std::string RenderShutdown();
+
+/// FNV-1a digest over a report's generation records (target values,
+/// embedding bit patterns, arm, acceptance), rendered as 16 hex digits.
+/// Two runs accepted bit-identical tuples iff their digests match — the
+/// chaos harness's cheap cross-process identity check.
+std::string ReportDigest(const core::RepairReport& report);
+
+/// How a finished repair is summarized on the wire.
+const char* ReportStatusLabel(const core::RepairReport& report);
+
+}  // namespace chameleon::daemon
+
+#endif  // CHAMELEON_TOOLS_CHAMELEOND_PROTOCOL_H_

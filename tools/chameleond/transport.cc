@@ -1,0 +1,134 @@
+#include "tools/chameleond/transport.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace chameleon::daemon {
+
+// ---------------------------------------------------------------------------
+// FdTransport
+// ---------------------------------------------------------------------------
+
+util::Result<size_t> FdTransport::Read(char* out, size_t max) {
+  while (true) {
+    const ssize_t n = ::read(read_fd_, out, max);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) {
+      // Interrupted by a signal. Surface it so the serve loop can check
+      // its shutdown flag (SIGINT/SIGTERM handlers are installed without
+      // SA_RESTART for exactly this reason).
+      return util::Status::Unavailable("read interrupted");
+    }
+    return util::Status::IoError(std::string("read failed: ") +
+                                 std::strerror(errno));
+  }
+}
+
+util::Status FdTransport::Write(const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(write_fd_, data + off, size - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return util::Status::IoError(std::string("write failed: ") +
+                                 (n < 0 ? std::strerror(errno)
+                                        : "zero-byte write"));
+  }
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// PipePair
+// ---------------------------------------------------------------------------
+
+/// One buffered byte stream with blocking reads. `wake` is a one-shot
+/// pulse consumed by the first blocked reader it releases.
+struct PipePair::Conduit {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<char> buffer CHAMELEON_GUARDED_BY(mutex);
+  bool closed CHAMELEON_GUARDED_BY(mutex) = false;
+  bool wake CHAMELEON_GUARDED_BY(mutex) = false;
+};
+
+class PipePair::Endpoint : public Transport {
+ public:
+  Endpoint(std::shared_ptr<Conduit> in, std::shared_ptr<Conduit> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~Endpoint() override { Close(); }
+
+  [[nodiscard]] util::Result<size_t> Read(char* out, size_t max) override {
+    if (max == 0) return size_t{0};
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    in_->cv.wait(lock, [this] {
+      return !in_->buffer.empty() || in_->closed || in_->wake;
+    });
+    if (in_->buffer.empty()) {
+      if (in_->closed) return size_t{0};
+      in_->wake = false;  // consumed the wake pulse
+      return util::Status::Unavailable("read interrupted");
+    }
+    size_t n = 0;
+    while (n < max && !in_->buffer.empty()) {
+      out[n++] = in_->buffer.front();
+      in_->buffer.pop_front();
+    }
+    return n;
+  }
+
+  [[nodiscard]] util::Status Write(const char* data, size_t size) override {
+    {
+      std::lock_guard<std::mutex> lock(out_->mutex);
+      if (out_->closed) {
+        return util::Status::IoError("pipe closed: peer is gone");
+      }
+      out_->buffer.insert(out_->buffer.end(), data, data + size);
+    }
+    out_->cv.notify_all();
+    return util::Status::Ok();
+  }
+
+  void WakeReader() override {
+    {
+      std::lock_guard<std::mutex> lock(in_->mutex);
+      in_->wake = true;
+    }
+    in_->cv.notify_all();
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> lock(out_->mutex);
+      out_->closed = true;
+    }
+    out_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<Conduit> in_;
+  std::shared_ptr<Conduit> out_;
+};
+
+PipePair::PipePair()
+    : client_to_server_(std::make_shared<Conduit>()),
+      server_to_client_(std::make_shared<Conduit>()),
+      client_(std::make_unique<Endpoint>(server_to_client_,
+                                         client_to_server_)),
+      server_(std::make_unique<Endpoint>(client_to_server_,
+                                         server_to_client_)) {}
+
+PipePair::~PipePair() = default;
+
+Transport* PipePair::client() { return client_.get(); }
+Transport* PipePair::server() { return server_.get(); }
+
+}  // namespace chameleon::daemon

@@ -1,0 +1,89 @@
+#ifndef CHAMELEON_TOOLS_CHAMELEOND_TRANSPORT_H_
+#define CHAMELEON_TOOLS_CHAMELEOND_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace chameleon::daemon {
+
+/// Byte-stream transport under the frame codec (frame.h). The daemon is
+/// transport-agnostic: production runs over a file-descriptor pair
+/// (stdin/stdout), tests and benches over an in-memory duplex pipe, and
+/// the chaos harness wraps either in a fault injector.
+///
+/// Read contract:
+///   Ok(n > 0)      — n bytes were read into `out`.
+///   Ok(0)          — clean end of stream (peer closed).
+///   kUnavailable   — the blocking read was interrupted (a signal, or
+///                    WakeReader); no bytes were consumed. The caller
+///                    checks its shutdown flag and either retries or
+///                    stops.
+///   anything else  — hard transport failure; the connection is dead.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocking read of up to `max` bytes.
+  [[nodiscard]] virtual util::Result<size_t> Read(char* out, size_t max) = 0;
+
+  /// Writes all `size` bytes (short writes are retried internally).
+  [[nodiscard]] virtual util::Status Write(const char* data, size_t size) = 0;
+
+  /// Wakes a reader blocked in Read so it can observe a shutdown flag;
+  /// the woken Read returns kUnavailable. The default is a no-op:
+  /// FdTransport installs its signal handlers without SA_RESTART, so the
+  /// signal itself interrupts the read with EINTR.
+  virtual void WakeReader() {}
+
+  /// Closes the write direction: the peer's Read drains buffered bytes
+  /// and then sees a clean end of stream. No-op by default.
+  virtual void Close() {}
+};
+
+/// POSIX file-descriptor transport (stdin/stdout in production). Does not
+/// own the descriptors. EINTR on read surfaces as kUnavailable (see the
+/// Read contract); EINTR on write is retried internally.
+class FdTransport : public Transport {
+ public:
+  FdTransport(int read_fd, int write_fd)
+      : read_fd_(read_fd), write_fd_(write_fd) {}
+
+  [[nodiscard]] util::Result<size_t> Read(char* out, size_t max) override;
+  [[nodiscard]] util::Status Write(const char* data, size_t size) override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+};
+
+/// In-memory duplex pipe: two Transport endpoints (client and server)
+/// over a pair of buffered byte conduits, for tests and benches. Reads
+/// block on a condition variable until data, close, or WakeReader.
+class PipePair {
+ public:
+  PipePair();
+  ~PipePair();
+
+  /// Endpoints are owned by the pair and valid for its lifetime.
+  Transport* client();
+  Transport* server();
+
+ private:
+  struct Conduit;
+  class Endpoint;
+
+  std::shared_ptr<Conduit> client_to_server_;
+  std::shared_ptr<Conduit> server_to_client_;
+  std::unique_ptr<Endpoint> client_;
+  std::unique_ptr<Endpoint> server_;
+};
+
+}  // namespace chameleon::daemon
+
+#endif  // CHAMELEON_TOOLS_CHAMELEOND_TRANSPORT_H_

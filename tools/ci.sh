@@ -7,6 +7,7 @@
 #   tools/ci.sh asan       # Debug + AddressSanitizer + UBSan only
 #   tools/ci.sh tsan       # RelWithDebInfo + ThreadSanitizer only
 #   tools/ci.sh faults     # fault-injection/resilience suite under ASan/UBSan
+#   tools/ci.sh daemon     # chameleond chaos harness under ASan/UBSan + TSan
 #   tools/ci.sh release    # plain Release build + tests only
 #   tools/ci.sh bench-smoke  # micro benches in smoke mode + obsctl gate
 #
@@ -63,6 +64,39 @@ run_faults() {
   ctest --test-dir "${dir}" --output-on-failure -R '^(resilience_test|fm_test)$'
 }
 
+# Serving-layer gate: the chameleond chaos harness (frame corruption,
+# overload, cancellation, crash/resume, FlakyTransport) under both
+# sanitizer families. ASan/UBSan catches lifetime bugs on the drain and
+# disconnect paths; TSan covers the admission bookkeeping, the shared
+# worker pool, and the per-request isolation claims.
+run_daemon() {
+  local dir flags config
+  for config in asan tsan; do
+    dir="build-ci-daemon-${config}"
+    if [[ "${config}" == "asan" ]]; then
+      flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+      echo "==== [daemon] configure (Debug + ASan/UBSan) ===="
+      cmake -B "${dir}" -S . \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCHAMELEON_WERROR=ON \
+        -DCMAKE_CXX_FLAGS="${flags}" \
+        -DCMAKE_EXE_LINKER_FLAGS="${flags}" >/dev/null
+    else
+      flags="-fsanitize=thread -fno-omit-frame-pointer"
+      echo "==== [daemon] configure (RelWithDebInfo + TSan) ===="
+      cmake -B "${dir}" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCHAMELEON_WERROR=ON \
+        -DCMAKE_CXX_FLAGS="${flags}" \
+        -DCMAKE_EXE_LINKER_FLAGS="${flags}" >/dev/null
+    fi
+    echo "==== [daemon] build daemon_test (${config}) ===="
+    cmake --build "${dir}" -j "${PARALLEL}" --target daemon_test
+    echo "==== [daemon] ctest -L daemon (${config}) ===="
+    ctest --test-dir "${dir}" --output-on-failure -L daemon
+  done
+}
+
 # Builds only the linter and runs it over the tree (all rules, the
 # committed baseline, full parallelism); exits nonzero on any finding.
 # Emits the SARIF log as ${dir}/lint.sarif for CI annotation upload.
@@ -80,7 +114,7 @@ run_lint() {
     "--jobs=${PARALLEL}" \
     "--sarif=${dir}/lint.sarif" \
     --baseline=tools/analyzer/lint-baseline.txt \
-    src tests tools/analyzer tools/obsctl
+    src tests tools/analyzer tools/obsctl tools/chameleond
   echo "==== [lint] sarif artifact: ${dir}/lint.sarif ===="
 }
 
@@ -100,7 +134,8 @@ run_bench_smoke() {
   local dir="build-ci-bench"
   local threshold="${BENCH_SMOKE_THRESHOLD:-0.25}"
   local smoke_benches=(bench_micro_greedy bench_micro_linucb
-                       bench_micro_ocsvm bench_obs bench_batching)
+                       bench_micro_ocsvm bench_obs bench_batching
+                       bench_daemon)
   echo "==== [bench-smoke] configure (Release) ===="
   cmake -B "${dir}" -S . \
     -DCMAKE_BUILD_TYPE=Release \
@@ -159,6 +194,9 @@ case "${JOBS}" in
   faults)
     run_faults
     ;;
+  daemon)
+    run_daemon
+    ;;
   bench-smoke)
     run_bench_smoke
     ;;
@@ -168,10 +206,11 @@ case "${JOBS}" in
     run_job asan Debug "-fsanitize=address,undefined -fno-omit-frame-pointer"
     run_job tsan RelWithDebInfo "-fsanitize=thread -fno-omit-frame-pointer"
     run_faults
+    run_daemon
     run_bench_smoke
     ;;
   *)
-    echo "unknown job '${JOBS}' (expected: all | lint | release | asan | tsan | faults | bench-smoke)" >&2
+    echo "unknown job '${JOBS}' (expected: all | lint | release | asan | tsan | faults | daemon | bench-smoke)" >&2
     exit 2
     ;;
 esac

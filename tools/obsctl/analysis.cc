@@ -82,6 +82,12 @@ int64_t JournalStats::TotalParked() const {
   return total;
 }
 
+int64_t JournalStats::TotalBoundaryParked() const {
+  int64_t total = 0;
+  for (const auto& [name, entry] : targets) total += entry.parked_boundary;
+  return total;
+}
+
 int64_t JournalStats::TotalRetries() const {
   int64_t total = 0;
   for (const auto& [name, entry] : targets) total += entry.retries;
@@ -139,7 +145,18 @@ util::Result<JournalStats> AnalyzeJournal(const std::string& jsonl_text) {
         ++FindOrAddTarget(&stats, current_target)->retries;
       }
     } else if (type == "fm.parked") {
-      ++FindOrAddTarget(&stats, event.StringOr("target", "?"))->parked;
+      // Transport-failure parks ("Unavailable", "DeadlineExceeded", ...)
+      // each cost one journaled-but-unevaluated query; round-boundary
+      // parks from a cancel or an exhausted per-request deadline
+      // ("cancelled" / "deadline_exceeded") lose no queries.
+      const std::string code = event.StringOr("code", "");
+      TargetStats* entry = FindOrAddTarget(&stats, event.StringOr("target",
+                                                                  "?"));
+      if (code == "cancelled" || code == "deadline_exceeded") {
+        ++entry->parked_boundary;
+      } else {
+        ++entry->parked;
+      }
     } else if (type == "tuple.accepted") {
       ++FindOrAddTarget(&stats, event.StringOr("target", "?"))->accepted;
       ++stats.arms[event.IntOr("arm", -1)].accepted;
@@ -247,13 +264,19 @@ util::Result<Report> BuildReport(const ReportInput& input) {
   const int64_t queries = journal->TotalQueries();
   const int64_t accepted = journal->TotalAccepted();
   const int64_t rejected = journal->TotalRejected();
+  // Only transport-failure parks cost a journaled query; round-boundary
+  // parks (cancel / per-request deadline) stop between rounds.
   const int64_t parked = journal->TotalParked();
+  const int64_t boundary_parked = journal->TotalBoundaryParked();
   out += "totals: queries=" + util::Fmt(queries) +
          " evaluated=" + util::Fmt(queries - parked) +
          " accepted=" + util::Fmt(accepted) +
          " rejected=" + util::Fmt(rejected) +
-         " parked=" + util::Fmt(parked) +
-         " retries=" + util::Fmt(journal->TotalRetries()) + "\n";
+         " parked=" + util::Fmt(parked + boundary_parked);
+  if (boundary_parked > 0) {
+    out += " (" + util::Fmt(boundary_parked) + " at round boundaries)";
+  }
+  out += " retries=" + util::Fmt(journal->TotalRetries()) + "\n";
   if (journal->has_run_end) {
     out += "run.end: queries=" + util::Fmt(journal->end_queries) +
            " accepted=" + util::Fmt(journal->end_accepted) +
@@ -309,7 +332,7 @@ util::Result<Report> BuildReport(const ReportInput& input) {
                     util::Fmt(entry.rejected_distribution),
                     util::Fmt(entry.rejected_quality),
                     util::Fmt(entry.rejected_both), util::Fmt(entry.retries),
-                    util::Fmt(entry.parked)});
+                    util::Fmt(entry.parked_total())});
     totals.planned += entry.planned;
     totals.queries += entry.queries;
     totals.accepted += entry.accepted;
@@ -318,13 +341,14 @@ util::Result<Report> BuildReport(const ReportInput& input) {
     totals.rejected_both += entry.rejected_both;
     totals.retries += entry.retries;
     totals.parked += entry.parked;
+    totals.parked_boundary += entry.parked_boundary;
   }
   targets.AddRow({"TOTAL", util::Fmt(totals.planned),
                   util::Fmt(totals.queries), util::Fmt(totals.accepted),
                   util::Fmt(totals.rejected_distribution),
                   util::Fmt(totals.rejected_quality),
                   util::Fmt(totals.rejected_both), util::Fmt(totals.retries),
-                  util::Fmt(totals.parked)});
+                  util::Fmt(totals.parked_total())});
   out += targets.ToString();
 
   // Per-arm pull/reward summary.

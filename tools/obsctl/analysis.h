@@ -43,11 +43,19 @@ struct TargetStats {
   int64_t rejected_quality = 0;
   int64_t rejected_both = 0;
   int64_t retries = 0;   // fm.retry events attributed to this target
-  int64_t parked = 0;    // fm.parked events
+  /// fm.parked events from a transport failure: the failing query was
+  /// journaled but never evaluated, so each costs one query in the
+  /// accounting.
+  int64_t parked = 0;
+  /// fm.parked events from a round-boundary stop (codes "cancelled" /
+  /// "deadline_exceeded"): the entry parked between rounds and no
+  /// journaled query was lost.
+  int64_t parked_boundary = 0;
 
   int64_t rejected() const {
     return rejected_distribution + rejected_quality + rejected_both;
   }
+  int64_t parked_total() const { return parked + parked_boundary; }
 };
 
 /// Aggregates for one bandit arm.
@@ -82,6 +90,7 @@ struct JournalStats {
   int64_t TotalAccepted() const;
   int64_t TotalRejected() const;
   int64_t TotalParked() const;
+  int64_t TotalBoundaryParked() const;
   int64_t TotalRetries() const;
 
   /// The registry contract (DESIGN.md §9, pinned by chameleon_test):
