@@ -145,6 +145,9 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
   }
 
   bool parked = false;
+  // Accepted values of the current round, replayed into the streaming MUP
+  // index after the merge (incremental_coverage mode only).
+  std::vector<std::vector<int>> merged_accepted;
   while (!parked && accepted_here < count && attempts < attempt_cap &&
          report->queries < options_.max_queries) {
     // Deadline/cancel check at the round boundary: once the request's
@@ -370,6 +373,17 @@ util::Result<int64_t> Chameleon::GenerateAccepted(
                                           c.latent_realism));
       ++report->accepted;
       ++accepted_here;
+      if (incremental_index_.has_value()) merged_accepted.push_back(target);
+    }
+
+    // Patch the maintained MUP frontier with this round's merged batch,
+    // keeping the index in lockstep with the corpus it validated against
+    // (the batch is one InsertBatch: the MUP set is a pure function of
+    // the materialized dataset, so batching is exact).
+    if (!merged_accepted.empty()) {
+      CHAMELEON_RETURN_NOT_OK(
+          incremental_index_->InsertBatch(merged_accepted));
+      merged_accepted.clear();
     }
   }
 
@@ -425,15 +439,53 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
                             .Set("fully_resolved", report.fully_resolved));
   };
 
-  // 1. Detect the minimum-level MUPs.
-  auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
-  if (!counter.ok()) return counter.status();
-  coverage::MupFinder finder(schema, *counter);
-  coverage::MupFinderOptions mup_options;
-  mup_options.tau = options_.tau;
-  mup_options.num_threads = options_.num_threads;
-  mup_options.observability = obs;
-  const std::vector<coverage::Mup> all_mups = finder.FindMups(mup_options);
+  // 1. Detect the minimum-level MUPs: one full lattice traversal by
+  // default, or a consult of the maintained frontier in incremental mode
+  // (DESIGN.md §14 — built on first use or adopted warm, then patched in
+  // place with every merged batch of accepted tuples).
+  std::vector<coverage::Mup> all_mups;
+  if (options_.incremental_coverage) {
+    const bool reusable =
+        incremental_index_.has_value() &&
+        incremental_index_->tau() == options_.tau &&
+        incremental_index_->num_tuples() ==
+            static_cast<int64_t>(corpus->dataset.size()) &&
+        incremental_index_->SchemaMatches(schema);
+    if (!reusable) {
+      coverage::IncrementalMupOptions index_options;
+      index_options.tau = options_.tau;
+      index_options.num_threads = options_.num_threads;
+      auto index = coverage::IncrementalMupIndex::FromDataset(corpus->dataset,
+                                                              index_options);
+      if (!index.ok()) return index.status();
+      incremental_index_ = *std::move(index);
+    }
+    // From here the index observes into this run's registry — a warm
+    // clone must not keep reporting to the request it was built under.
+    incremental_index_->set_observability(obs);
+    all_mups = incremental_index_->Mups();
+    if (obs != nullptr) {
+      // Mirror FindMups' recording so dashboards read the same signals
+      // in either mode (mup.count_queries aside: a consult issues none).
+      obs->registry.Counter("mup.found")->Increment(
+          static_cast<int64_t>(all_mups.size()));
+      for (const coverage::Mup& mup : all_mups) {
+        obs->journal.Record(obs::JournalEvent("mup.found")
+                                .Set("pattern", mup.pattern.ToString())
+                                .Set("count", mup.count)
+                                .Set("gap", mup.gap));
+      }
+    }
+  } else {
+    auto counter = coverage::PatternCounter::FromDataset(corpus->dataset);
+    if (!counter.ok()) return counter.status();
+    coverage::MupFinder finder(schema, *counter);
+    coverage::MupFinderOptions mup_options;
+    mup_options.tau = options_.tau;
+    mup_options.num_threads = options_.num_threads;
+    mup_options.observability = obs;
+    all_mups = finder.FindMups(mup_options);
+  }
   report.initial_mups = coverage::MupFinder::MinLevel(all_mups);
   if (report.initial_mups.empty()) {
     report.fully_resolved = true;

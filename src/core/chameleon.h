@@ -2,11 +2,14 @@
 #define CHAMELEON_CORE_CHAMELEON_H_
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/core/combination_selection.h"
 #include "src/core/guide_selection.h"
 #include "src/core/rejection_sampler.h"
+#include "src/coverage/incremental_mup.h"
 #include "src/coverage/mup_finder.h"
 #include "src/embedding/embedder.h"
 #include "src/fm/corpus.h"
@@ -88,6 +91,17 @@ struct ChameleonOptions {
   /// returning a partial report with `cancelled`/`deadline_expired` set.
   /// The serving layer (tools/chameleond) allocates one per request.
   fm::Deadline* deadline = nullptr;
+  /// Streaming-corpus mode (DESIGN.md §14): maintain the MUP frontier in
+  /// a coverage::IncrementalMupIndex instead of re-running the full
+  /// lattice BFS per repair call. The first RepairMinLevelMups builds the
+  /// index (one FindMups traversal); every batch of accepted tuples then
+  /// patches it in place, so repeated repair calls on a drifting corpus —
+  /// and warm serving-layer clones (tools/chameleond) — consult the
+  /// maintained frontier at a fraction of a rebuild. The index equals
+  /// order-normalized FindMups on the materialized corpus at every point,
+  /// so accepted tuples, reports, and digests are bit-identical to the
+  /// default mode. Off by default (the legacy full recompute).
+  bool incremental_coverage = false;
   /// Graceful degradation: when a generation fails with a transport-level
   /// code (kUnavailable/kDeadlineExceeded/kResourceExhausted — i.e. the
   /// model's own resilience layer already gave up), park the current plan
@@ -200,11 +214,30 @@ class Chameleon {
 
   const ChameleonOptions& options() const { return options_; }
 
+  /// Hands this system a pre-built MUP index (incremental_coverage mode
+  /// only; ignored otherwise). The serving layer clones one warm
+  /// base-corpus index per request so a stream of repairs amortizes the
+  /// initial lattice traversal. RepairMinLevelMups re-validates the index
+  /// against the corpus (tau, tuple count, schema shape) and silently
+  /// rebuilds on mismatch — a stale index is never trusted.
+  void AdoptIncrementalIndex(coverage::IncrementalMupIndex index) {
+    incremental_index_ = std::move(index);
+  }
+
+  /// The maintained index, or null before the first incremental repair.
+  /// Exposed so tests can check it against a fresh FindMups.
+  const coverage::IncrementalMupIndex* incremental_index() const {
+    return incremental_index_.has_value() ? &*incremental_index_ : nullptr;
+  }
+
  private:
   fm::FoundationModel* model_;
   const embedding::Embedder* embedder_;
   const fm::EvaluatorPool* evaluators_;
   ChameleonOptions options_;
+  /// Engaged only in incremental_coverage mode: the corpus's maintained
+  /// MUP frontier, patched with every merged batch of accepted tuples.
+  std::optional<coverage::IncrementalMupIndex> incremental_index_;
 };
 
 }  // namespace chameleon::core

@@ -276,6 +276,47 @@ util::Status Dispatch(fm::BatchCoalescer* coalescer,
   EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
 }
 
+TEST(StatusDisciplineTest, SeededIncrementalCoverageApisAreFlagged) {
+  // The streaming-coverage surface: IncrementalMupIndex::Insert and
+  // InsertBatch return Status (a dropped status means the frontier and
+  // the corpus silently disagree from then on) and Mups() is must-use —
+  // the maintained frontier is the only product of the index.
+  const std::string source = R"(
+void Stream(coverage::IncrementalMupIndex* index,
+            const std::vector<int>& values,
+            const std::vector<std::vector<int>>& batch) {
+  index->Insert(values);
+  index->InsertBatch(batch);
+  index->Mups();
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 3);
+  EXPECT_TRUE(registry.IsMustUse("Mups"));
+}
+
+TEST(StatusDisciplineTest, ConsumedIncrementalCoverageCallsAreClean) {
+  const std::string source = R"(
+util::Status Stream(coverage::IncrementalMupIndex* index,
+                    const std::vector<int>& values,
+                    const std::vector<std::vector<int>>& batch) {
+  CHAMELEON_RETURN_NOT_OK(index->Insert(values));
+  const std::vector<coverage::Mup> mups = index->Mups();
+  return index->InsertBatch(batch);
+}
+)";
+  FunctionRegistry registry;
+  SeedProjectStatusApis(&registry);
+  const LexResult lex = Lex(source);
+  CollectFunctions(lex, &registry);
+  const auto findings = LintFile("src/a.cc", source, lex, registry, {});
+  EXPECT_EQ(CountRule(findings, "status-discipline"), 0);
+}
+
 TEST(StatusDisciplineTest, SeededObsMustUseApisAreFlagged) {
   // The observability layer's handle-returning surface (Tracer::StartSpan,
   // Registry::Counter/Gauge/Histogram) is seeded as must-use: discarding

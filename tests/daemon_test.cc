@@ -633,5 +633,77 @@ TEST(DaemonTest, ResumeReparksInterruptedRequests) {
   EXPECT_TRUE(saw_resumed);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming coverage: warm incremental MUP indexes (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST(DaemonTest, WarmIncrementalIndexBitIdenticalToDirectRun) {
+  // Two sequential incremental repairs of the same (dataset, tau): the
+  // first builds the warm index (miss), the second clones it (hit), and
+  // both digests must equal the direct non-incremental run — the warm
+  // path is pure amortization, never a result change.
+  const std::string clean = DirectMicroDigest(MicroSpec("direct"));
+  ASSERT_FALSE(clean.empty());
+
+  RunningDaemon server;
+  server.Start();
+  RepairRequestSpec first = MicroSpec("w1");
+  first.incremental = true;
+  SendPayload(server.client(), RenderRepairRequest(first));
+  obsctl::JsonValue report1 = AwaitFrame(server.client(), "report", "w1");
+  EXPECT_EQ(report1.StringOr("records_digest", ""), clean);
+  EXPECT_EQ(report1.StringOr("status", ""), "ok");
+
+  RepairRequestSpec second = MicroSpec("w2");
+  second.incremental = true;
+  SendPayload(server.client(), RenderRepairRequest(second));
+  obsctl::JsonValue report2 = AwaitFrame(server.client(), "report", "w2");
+  EXPECT_EQ(report2.StringOr("records_digest", ""), clean);
+
+  server.Finish();
+  const DaemonStats stats = server.daemon().stats();
+  EXPECT_EQ(stats.index_warm_misses, 1);
+  EXPECT_EQ(stats.index_warm_hits, 1);
+  EXPECT_EQ(stats.active, 0);
+}
+
+TEST(DaemonTest, ResumedDaemonRebuildsIncrementalIndexFromScratch) {
+  // A daemon killed mid-request while serving incremental repairs: the
+  // warm-index cache is process memory only, so after --resume the next
+  // incremental request must rebuild from the base corpus (a miss, never
+  // a stale frontier) and still match the direct run bit-for-bit.
+  const std::string journal_path =
+      testing::TempDir() + "/daemon_incr_crash.jsonl";
+  {
+    std::ofstream out(journal_path, std::ios::trunc);
+    out << R"({"type":"daemon.start","tick":1,"max_queue":32})" << "\n";
+    out << R"({"type":"req.accepted","tick":2,"id":"gone","client":"a",)"
+        << R"("dataset":"micro","tau":6,"seed":11,"deadline_ms":0,)"
+        << R"("incremental":true})" << "\n";
+    out << R"({"type":"req.start","tick":3,"id":"gone"})" << "\n";
+  }
+
+  DaemonOptions options;
+  options.journal_path = journal_path;
+  RunningDaemon server(options);
+  server.Start(/*resume=*/true);
+  obsctl::JsonValue resumed = AwaitFrame(server.client(), "resumed");
+  EXPECT_EQ(resumed.StringOr("id", ""), "gone");
+
+  RepairRequestSpec fresh = MicroSpec("fresh");
+  fresh.incremental = true;
+  SendPayload(server.client(), RenderRepairRequest(fresh));
+  obsctl::JsonValue report = AwaitFrame(server.client(), "report", "fresh");
+  EXPECT_EQ(report.StringOr("records_digest", ""),
+            DirectMicroDigest(MicroSpec("direct")));
+  EXPECT_EQ(report.StringOr("status", ""), "ok");
+
+  server.Finish();
+  const DaemonStats stats = server.daemon().stats();
+  EXPECT_EQ(stats.resumed, 1);
+  EXPECT_EQ(stats.index_warm_hits, 0);
+  EXPECT_EQ(stats.index_warm_misses, 1);
+}
+
 }  // namespace
 }  // namespace chameleon::daemon

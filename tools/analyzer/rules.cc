@@ -126,8 +126,12 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
       "Enqueue",            // fm::BatchCoalescer
       "Flush",              // fm::BatchCoalescer — a dropped flush status
                             // silently loses the whole batch's failures
-      "FromDataset",        // coverage::PatternCounter
+      "FromDataset",        // coverage::PatternCounter + IncrementalMupIndex
       "AddTuple",           // coverage::PatternCounter
+      "Insert",             // coverage::IncrementalMupIndex — a dropped
+                            // status means the frontier and the corpus
+                            // silently disagree from then on
+      "InsertBatch",        // coverage::IncrementalMupIndex
       "LoadCorpus",         // fm corpus persistence
       "SaveCorpus",
       "Write",              // obs Registry/Tracer/Journal file export
@@ -163,6 +167,8 @@ void SeedProjectStatusApis(FunctionRegistry* registry) {
       "Histogram",
       "ExportOpenMetrics",  // obs exporters: the string IS the result
       "ExportTraceEvents",
+      "Mups",  // coverage::IncrementalMupIndex — the maintained frontier
+               // is the only product of the index; a bare call is dead
   };
   for (const char* name : kKnownMustUseApis) {
     registry->must_use.insert(name);

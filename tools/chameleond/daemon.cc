@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <fstream>
+#include <optional>
 #include <utility>
 
 #include "src/core/chameleon.h"
+#include "src/coverage/incremental_mup.h"
 #include "src/data/dataset.h"
 #include "src/datasets/feret.h"
 #include "src/datasets/synthetic_corpus.h"
@@ -91,12 +93,24 @@ util::Result<RequestWorld> BuildWorld(const RepairRequestSpec& spec,
   return util::Status::InvalidArgument("unknown dataset kind");
 }
 
+/// Warm-index handoff between RunRequest and ExecuteRepair (incremental
+/// requests only): `cached` carries a clone of the daemon's cache entry
+/// in; `built` carries a freshly-built base-corpus index back out on a
+/// miss so RunRequest can backfill the cache.
+struct WarmIndexExchange {
+  std::optional<coverage::IncrementalMupIndex> cached;
+  std::optional<coverage::IncrementalMupIndex> built;
+};
+
 /// One request's entire pipeline, built from scratch: simulator, optional
 /// fault injector, resilience decorator, and the repair itself. Nothing
 /// here outlives the call and nothing is shared with any other request —
-/// the structural form of per-request breaker/clock isolation.
+/// the structural form of per-request breaker/clock isolation. `warm`
+/// (null unless spec.incremental) is the one deliberate exception, and
+/// even it exchanges clones, never shared state.
 util::Result<core::RepairReport> ExecuteRepair(const RepairRequestSpec& spec,
-                                               fm::Deadline* deadline) {
+                                               fm::Deadline* deadline,
+                                               WarmIndexExchange* warm) {
   embedding::SimulatedEmbedder embedder;
   fm::EvaluatorPool evaluators(2024);
   auto world = BuildWorld(spec, &embedder);
@@ -120,7 +134,29 @@ util::Result<core::RepairReport> ExecuteRepair(const RepairRequestSpec& spec,
   options.rejection_batch = spec.rejection_batch;
   options.num_threads = spec.num_threads;
   options.deadline = deadline;
+  options.incremental_coverage = spec.incremental;
   core::Chameleon system(&resilient, &embedder, &evaluators, options);
+  if (spec.incremental && warm != nullptr) {
+    const data::Dataset& dataset = world->corpus.dataset;
+    if (warm->cached.has_value() && warm->cached->tau() == spec.tau &&
+        warm->cached->num_tuples() ==
+            static_cast<int64_t>(dataset.size()) &&
+        warm->cached->SchemaMatches(dataset.schema())) {
+      system.AdoptIncrementalIndex(*std::move(warm->cached));
+    } else {
+      // Cold (or stale — never trusted): build the base-corpus index
+      // here and hand a pre-repair copy back for the cache, so the next
+      // request with this (dataset, tau) skips the lattice traversal.
+      coverage::IncrementalMupOptions index_options;
+      index_options.tau = spec.tau;
+      index_options.num_threads = spec.num_threads;
+      auto base =
+          coverage::IncrementalMupIndex::FromDataset(dataset, index_options);
+      if (!base.ok()) return base.status();
+      warm->built = *base;
+      system.AdoptIncrementalIndex(*std::move(base));
+    }
+  }
   return system.RepairMinLevelMups(&world->corpus);
 }
 
@@ -383,7 +419,32 @@ util::Status Daemon::Cancel(const std::string& id) {
 void Daemon::RunRequest(const RepairRequestSpec& spec,
                         const std::shared_ptr<fm::Deadline>& deadline) {
   journal_.Record(obs::JournalEvent("req.start").Set("id", spec.id));
-  auto report = ExecuteRepair(spec, deadline.get());
+
+  // Incremental requests clone the warm (dataset, tau) index if one is
+  // cached; the clone — never the cached instance — is what the repair
+  // mutates, so concurrent requests stay fully isolated.
+  std::optional<WarmIndexExchange> warm;
+  std::string index_key;
+  bool warm_hit = false;
+  if (spec.incremental) {
+    warm.emplace();
+    index_key = std::string(DatasetKindName(spec.dataset)) + "/tau=" +
+                std::to_string(spec.tau);
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    auto it = warm_indexes_.find(index_key);
+    if (it != warm_indexes_.end()) {
+      warm->cached = it->second;
+      warm_hit = true;
+    }
+  }
+
+  auto report =
+      ExecuteRepair(spec, deadline.get(), warm.has_value() ? &*warm : nullptr);
+
+  if (warm.has_value() && warm->built.has_value()) {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    warm_indexes_.insert_or_assign(index_key, *std::move(warm->built));
+  }
 
   // Journal + respond before releasing the slot: Drain closes the
   // journal stream only once every slot is free, so req.end always makes
@@ -422,6 +483,13 @@ void Daemon::RunRequest(const RepairRequestSpec& spec,
     --stats_.active;
     ++stats_.completed;
     if (was_cancelled) ++stats_.cancelled;
+    if (spec.incremental) {
+      if (warm_hit) {
+        ++stats_.index_warm_hits;
+      } else {
+        ++stats_.index_warm_misses;
+      }
+    }
   }
   drain_cv_.notify_all();
 }

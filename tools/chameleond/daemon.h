@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/coverage/incremental_mup.h"
 #include "src/embedding/embedder.h"
 #include "src/fm/corpus.h"
 #include "src/fm/deadline.h"
@@ -63,6 +64,12 @@ struct DaemonStats {
   int64_t protocol_errors = 0;   ///< malformed/oversized/truncated frames
   int64_t resumed = 0;           ///< journal-recovered requests re-parked
   int64_t active = 0;            ///< currently queued + running
+  /// Incremental repairs that cloned a cached warm MUP index (hit) vs.
+  /// built it from the base corpus (miss). The cache is in-memory only,
+  /// so a resumed daemon always starts with misses — crash recovery can
+  /// never reuse a stale frontier.
+  int64_t index_warm_hits = 0;
+  int64_t index_warm_misses = 0;
 };
 
 /// The chameleond server: accepts length-prefixed JSONL frames over a
@@ -155,6 +162,16 @@ class Daemon {
 
   std::mutex write_mutex_;
   bool write_failed_ CHAMELEON_GUARDED_BY(write_mutex_) = false;
+
+  /// Warm incremental MUP indexes, one per (dataset, tau) — see
+  /// DESIGN.md §14. Base corpora are rebuilt per request from fixed
+  /// seeds, so an entry stays valid for every request with the same key;
+  /// each request works on its own clone and never mutates the cached
+  /// copy. Guarded separately from state_mutex_ so an index clone never
+  /// stalls admission control.
+  std::mutex index_mutex_;
+  std::map<std::string, coverage::IncrementalMupIndex> warm_indexes_
+      CHAMELEON_GUARDED_BY(index_mutex_);
 
   std::vector<ResumedRequest> resumed_;
 

@@ -139,6 +139,7 @@ util::Result<ParsedFrame> ParseRequestFrame(const std::string& payload) {
   spec.num_threads = static_cast<int>(
       json->IntOr("num_threads", spec.num_threads));
   spec.deadline_ms = json->NumberOr("deadline_ms", spec.deadline_ms);
+  spec.incremental = json->BoolOr("incremental", spec.incremental);
   if (spec.tau <= 0) {
     return util::Status::InvalidArgument("tau must be positive");
   }
@@ -249,6 +250,8 @@ std::string RenderRepairRequest(const RepairRequestSpec& spec) {
   out += ",\"rejection_batch\":" + std::to_string(spec.rejection_batch);
   out += ",\"num_threads\":" + std::to_string(spec.num_threads);
   out += ",\"deadline_ms\":" + FormatDouble(spec.deadline_ms);
+  out += ",\"incremental\":";
+  out += spec.incremental ? "true" : "false";
   if (spec.has_faults) {
     const fm::FlakyOptions& f = spec.faults;
     out += ",\"faults\":{\"seed\":" + std::to_string(f.seed);

@@ -32,6 +32,11 @@ struct RepairRequestSpec {
   int num_threads = 1;
   /// Per-request virtual-time budget (fm::Deadline); 0 = unlimited.
   double deadline_ms = 0.0;
+  /// Streaming-corpus mode (DESIGN.md §14): the repair adopts a warm
+  /// incremental MUP index — the daemon keeps one per (dataset, tau)
+  /// across requests — instead of re-running the full lattice traversal.
+  /// Accepted tuples, reports, and digests are bit-identical either way.
+  bool incremental = false;
   /// Optional fault injection below the request's resilience layer (the
   /// chaos harness's scripted backend outages ride in here).
   bool has_faults = false;
