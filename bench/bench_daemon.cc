@@ -37,10 +37,11 @@ daemon::RepairRequestSpec BenchSpec(const std::string& id) {
 /// lifetime; requests go through the same frame codec production uses.
 class BenchDaemon {
  public:
-  explicit BenchDaemon(int concurrency) {
+  explicit BenchDaemon(int concurrency, bool telemetry = false) {
     daemon::DaemonOptions options;
     options.max_queue = 2 * concurrency;
     options.max_inflight_per_client = 2 * concurrency;
+    options.telemetry = telemetry;
     server_ = std::make_unique<daemon::Daemon>(pipe_.server(), options);
     serve_thread_ = std::thread([this] {
       const util::Status status = server_->Serve();
@@ -114,6 +115,34 @@ void BM_DaemonRepairBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DaemonRepairBatch)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same batch with --telemetry on: every request carries its own
+/// Observability, its journal/spans are teed into the daemon journal,
+/// and its registry is folded into the live aggregate. The serving
+/// budget (DESIGN.md §15): within 2% of the telemetry-off case above —
+/// compare against BM_DaemonRepairBatch at the same arg.
+void BM_DaemonRepairBatchTelemetry(benchmark::State& state) {
+  const int concurrency = static_cast<int>(state.range(0));
+  BenchDaemon bench_daemon(concurrency, /*telemetry=*/true);
+  int64_t total_queries = 0;
+  double total_virtual_ms = 0.0;
+  for (auto _ : state) {
+    const int64_t queries =
+        bench_daemon.RunBatch(concurrency, &total_virtual_ms);
+    if (queries < 0) {
+      state.SkipWithError("daemon batch failed");
+      return;
+    }
+    total_queries += queries;
+  }
+  state.SetItemsProcessed(total_queries);
+  if (total_virtual_ms > 0.0) {
+    state.counters["virtual_qps"] = benchmark::Counter(
+        static_cast<double>(total_queries) / (total_virtual_ms / 1000.0));
+  }
+}
+BENCHMARK(BM_DaemonRepairBatchTelemetry)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -418,6 +418,7 @@ util::Result<RepairReport> Chameleon::RepairMinLevelMups(fm::Corpus* corpus) {
 
   obs::Observability* const obs = options_.observability;
   model_->set_observability(obs);
+  if (obs != nullptr) report.request_id = obs->request_id;
   std::optional<obs::Span> run_span;
   if (obs != nullptr) {
     run_span.emplace(obs->tracer.StartSpan("repair.run"));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -150,6 +151,10 @@ struct FaultSummary {
 
 /// Summary of a repair run.
 struct RepairReport {
+  /// The request id this run was tagged with, copied from the attached
+  /// Observability (DESIGN.md §15). Empty for untagged/standalone runs —
+  /// serving layers use it to tie a report back to its wire request.
+  std::string request_id;
   /// MUPs at the minimum level before repair, with gaps.
   std::vector<coverage::Mup> initial_mups;
   /// The sigma plan produced by combination selection.

@@ -43,8 +43,12 @@ util::Status WriteText(const std::string& text, const std::string& path,
 }  // namespace
 
 std::string ExportOpenMetrics(const Registry& registry) {
+  return ExportOpenMetrics(registry.Snapshot());
+}
+
+std::string ExportOpenMetrics(const std::vector<MetricSample>& samples) {
   std::string out;
-  for (const MetricSample& sample : registry.Snapshot()) {
+  for (const MetricSample& sample : samples) {
     const std::string name = SanitizeMetricName(sample.name);
     if (sample.type == "counter") {
       out += "# TYPE " + name + " counter\n";

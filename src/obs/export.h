@@ -2,6 +2,7 @@
 #define CHAMELEON_OBS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -29,6 +30,13 @@ namespace chameleon::obs {
 /// `<name>_latency` with quantile labels 0.5 / 0.9 / 0.99. Output is
 /// sorted by metric name and deterministic for a fixed snapshot.
 [[nodiscard]] std::string ExportOpenMetrics(const Registry& registry);
+
+/// Same rendering from an already-flattened sample list (sorted by name
+/// by the producer — Registry::Snapshot and obs::Aggregator::Scrape both
+/// guarantee that), so merged aggregates export through the exact code
+/// path a single registry does.
+[[nodiscard]] std::string ExportOpenMetrics(
+    const std::vector<MetricSample>& samples);
 
 /// Renders the span tree in the Chrome `trace_event` JSON format, which
 /// loads directly in Perfetto / `about://tracing`. The time axis is the

@@ -36,8 +36,16 @@ JournalEvent& JournalEvent::Set(const std::string& key, bool value) {
 }
 
 std::string JournalEvent::ToJson(uint64_t tick) const {
+  return ToJson(tick, std::string());
+}
+
+std::string JournalEvent::ToJson(uint64_t tick,
+                                 const std::string& request_id) const {
   std::string out = "{\"type\":\"" + JsonEscape(type_) +
                     "\",\"tick\":" + std::to_string(tick);
+  if (!request_id.empty()) {
+    out += ",\"rid\":\"" + JsonEscape(request_id) + "\"";
+  }
   for (const auto& [key, value] : fields_) {
     out += ",\"" + JsonEscape(key) + "\":" + value;
   }
@@ -47,11 +55,27 @@ std::string JournalEvent::ToJson(uint64_t tick) const {
 
 void Journal::Record(const JournalEvent& event) {
   std::lock_guard<std::mutex> lock(mutex_);
-  lines_.push_back(event.ToJson(clock_->Tick()));
+  lines_.push_back(event.ToJson(clock_->Tick(), request_id_));
   if (stream_ != nullptr) {
     *stream_ << lines_.back() << '\n';
     stream_->flush();
   }
+  if (line_sink_) line_sink_(lines_.back());
+}
+
+void Journal::set_request_id(const std::string& request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  request_id_ = request_id;
+}
+
+std::string Journal::request_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return request_id_;
+}
+
+void Journal::SetLineSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  line_sink_ = std::move(sink);
 }
 
 size_t Journal::size() const {

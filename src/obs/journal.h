@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,13 @@ class JournalEvent {
   /// `{"type":"...","tick":N, ...fields}` — field order = Set order.
   std::string ToJson(uint64_t tick) const;
 
+  /// Request-scoped rendering: with a non-empty `request_id` the event
+  /// carries a `"rid"` field right after the tick, so one daemon journal
+  /// can interleave events from many concurrent requests and still be
+  /// split apart per request. An empty id renders byte-identically to
+  /// ToJson(tick) — run-scoped artifacts are unchanged.
+  std::string ToJson(uint64_t tick, const std::string& request_id) const;
+
  private:
   std::string type_;
   // (key, pre-rendered JSON value) in insertion order.
@@ -58,6 +66,20 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
   void Record(const JournalEvent& event);
+
+  /// Stamps every subsequently recorded event with `"rid":"<id>"` (the
+  /// request-scoped telemetry contract, DESIGN.md §15). Set it before
+  /// recording; an empty id (the default) leaves the rendering
+  /// byte-identical to the run-scoped format.
+  void set_request_id(const std::string& request_id);
+  std::string request_id() const;
+
+  /// Installs a live tee: `sink` is invoked with each rendered line
+  /// immediately after it is recorded (under the journal mutex, so sinks
+  /// observe lines in record order). The serving layer uses this to
+  /// forward per-request events into the daemon-wide journal. Pass an
+  /// empty function to detach.
+  void SetLineSink(std::function<void(const std::string&)> sink);
 
   size_t size() const;
 
@@ -88,6 +110,9 @@ class Journal {
   VirtualClock* clock_;
   mutable std::mutex mutex_;
   std::vector<std::string> lines_ CHAMELEON_GUARDED_BY(mutex_);
+  std::string request_id_ CHAMELEON_GUARDED_BY(mutex_);
+  std::function<void(const std::string&)> line_sink_
+      CHAMELEON_GUARDED_BY(mutex_);
   std::unique_ptr<std::ofstream> stream_ CHAMELEON_GUARDED_BY(mutex_);
   std::string stream_path_ CHAMELEON_GUARDED_BY(mutex_);
 };

@@ -98,6 +98,7 @@ std::vector<MetricSample> Registry::Snapshot() const {
       sample.p50 = histogram->Quantile(0.5);
       sample.p90 = histogram->Quantile(0.9);
       sample.p99 = histogram->Quantile(0.99);
+      sample.digest = histogram->Digest();
       samples.push_back(std::move(sample));
     }
   }

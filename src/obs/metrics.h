@@ -101,6 +101,10 @@ struct MetricSample {
   double p50 = 0.0;                // histogram only, digest quantiles
   double p90 = 0.0;
   double p99 = 0.0;
+  /// Histogram only: a copy of the mergeable quantile digest, so
+  /// registry snapshots can be merged across requests (obs::Aggregator)
+  /// without losing tail resolution. Empty for counters/gauges.
+  QuantileDigest digest;
 };
 
 /// Name-indexed metric registry. Registration is idempotent: the first

@@ -1,6 +1,8 @@
 #ifndef CHAMELEON_OBS_OBSERVABILITY_H_
 #define CHAMELEON_OBS_OBSERVABILITY_H_
 
+#include <string>
+
 #include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -24,6 +26,20 @@ struct Observability {
   Registry registry;
   Tracer tracer{&clock};
   Journal journal{&clock};
+
+  /// Tags this run's journal lines and spans with a stable request id
+  /// (DESIGN.md §15): the serving layer sets it to the request's wire id
+  /// before the repair starts, and `chameleon_cli --request-id=` sets the
+  /// same id for the equivalent standalone run — which is what makes a
+  /// daemon request's artifacts byte-identical to the standalone run's.
+  /// Empty (the default) keeps the run-scoped rendering unchanged.
+  void set_request_id(const std::string& id) {
+    request_id = id;
+    journal.set_request_id(id);
+    tracer.set_request_id(id);
+  }
+
+  std::string request_id;
 };
 
 }  // namespace chameleon::obs

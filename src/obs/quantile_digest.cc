@@ -1,14 +1,21 @@
 #include "src/obs/quantile_digest.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace chameleon::obs {
 namespace {
 
-// Buffered values per compression, as a multiple of the centroid budget:
-// large enough to amortize the O(n log n) sort, small enough that a
-// digest never holds more than a few hundred doubles.
-constexpr int kBufferFactor = 4;
+// Buffered values per compression, as a multiple of the centroid budget.
+// Larger buffers amortize the sort + reduction over more insertions —
+// the dominant cost of Histogram::Observe (ROADMAP hot-path item b) —
+// at the price of a few hundred extra doubles per digest (8 × 64 = 512
+// doubles = 4 KiB at the default budget) and a deferred first
+// compression. Raising the factor changes *which* values share a
+// centroid (so absolute quantile estimates shift slightly); it never
+// affects determinism — identical Add/Merge sequences still produce
+// bit-identical digests.
+constexpr int kBufferFactor = 8;
 
 }  // namespace
 
@@ -83,29 +90,41 @@ void QuantileDigest::Compress() const {
     centroids_ = std::move(merged);
     buffer_.clear();
   }
-  // Reduce to the budget: repeatedly merge the adjacent pair with the
-  // smallest combined weight; ties break to the leftmost pair, so the
-  // reduction is deterministic.
-  while (centroids_.size() > static_cast<size_t>(max_centroids_)) {
-    size_t best = 0;
-    int64_t best_weight = centroids_[0].weight + centroids_[1].weight;
-    for (size_t i = 1; i + 1 < centroids_.size(); ++i) {
-      const int64_t weight = centroids_[i].weight + centroids_[i + 1].weight;
-      if (weight < best_weight) {
-        best = i;
-        best_weight = weight;
-      }
+  // Reduce to the budget with one equal-frequency pass: bin k absorbs
+  // consecutive centroids until the cumulative weight reaches the rank
+  // boundary (k+1) * total / budget (exact integer compare, no
+  // division). Each bin becomes one centroid at the bin's weighted mean.
+  // Rank-aligned bins keep the quantile error bounded by the largest
+  // bin (~1/budget of the mass) across repeated compressions, and the
+  // result is a pure function of the centroid list — identical
+  // Add/Merge sequences still produce bit-identical digests. This
+  // replaced an iterated smallest-adjacent-pair merge whose O(n) scan
+  // per merge dominated Histogram::Observe (ROADMAP hot-path item b).
+  const size_t budget = static_cast<size_t>(max_centroids_);
+  if (centroids_.size() <= budget) return;
+  int64_t total = 0;
+  for (const Centroid& centroid : centroids_) total += centroid.weight;
+  std::vector<Centroid> binned;
+  binned.reserve(budget);
+  int64_t cum = 0;
+  double bin_sum = 0.0;
+  int64_t bin_weight = 0;
+  for (const Centroid& centroid : centroids_) {
+    bin_sum += centroid.mean * static_cast<double>(centroid.weight);
+    bin_weight += centroid.weight;
+    cum += centroid.weight;
+    if (cum * static_cast<int64_t>(budget) >=
+        static_cast<int64_t>(binned.size() + 1) * total) {
+      binned.push_back(
+          {bin_sum / static_cast<double>(bin_weight), bin_weight});
+      bin_sum = 0.0;
+      bin_weight = 0;
     }
-    Centroid& a = centroids_[best];
-    const Centroid& b = centroids_[best + 1];
-    const double total = static_cast<double>(a.weight + b.weight);
-    a.mean = (a.mean * static_cast<double>(a.weight) +
-              b.mean * static_cast<double>(b.weight)) /
-             total;
-    a.weight += b.weight;
-    centroids_.erase(centroids_.begin() +
-                     static_cast<std::ptrdiff_t>(best + 1));
   }
+  if (bin_weight > 0) {
+    binned.push_back({bin_sum / static_cast<double>(bin_weight), bin_weight});
+  }
+  centroids_ = std::move(binned);
 }
 
 size_t QuantileDigest::num_centroids() const {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <utility>
 
+#include "src/obs/journal.h"
 #include "src/obs/metrics.h"
 
 namespace chameleon::obs {
@@ -46,9 +48,25 @@ void Tracer::EndSpan(int64_t id) {
   record.end_ms = clock_->NowMs();
   stack_.erase(std::remove(stack_.begin(), stack_.end(), id), stack_.end());
   if (stream_ != nullptr) {
-    *stream_ << SpanToJson(record) << '\n';
+    *stream_ << SpanToJson(record, request_id_) << '\n';
     stream_->flush();
   }
+  if (span_sink_) span_sink_(record);
+}
+
+void Tracer::set_request_id(const std::string& request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  request_id_ = request_id;
+}
+
+std::string Tracer::request_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return request_id_;
+}
+
+void Tracer::SetSpanSink(std::function<void(const SpanRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  span_sink_ = std::move(sink);
 }
 
 std::vector<SpanRecord> Tracer::Spans() const {
@@ -59,6 +77,13 @@ std::vector<SpanRecord> Tracer::Spans() const {
 size_t Tracer::num_open() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stack_.size();
+}
+
+std::string SpanToJson(const SpanRecord& span,
+                       const std::string& request_id) {
+  if (request_id.empty()) return SpanToJson(span);
+  return "{\"rid\":\"" + JsonEscape(request_id) + "\"," +
+         SpanToJson(span).substr(1);
 }
 
 std::string SpanToJson(const SpanRecord& span) {
@@ -72,9 +97,10 @@ std::string SpanToJson(const SpanRecord& span) {
 }
 
 std::string Tracer::ToJsonl() const {
+  const std::string rid = request_id();
   std::string out;
   for (const SpanRecord& span : Spans()) {
-    out += SpanToJson(span);
+    out += SpanToJson(span, rid);
     out += "\n";
   }
   return out;
@@ -103,7 +129,7 @@ util::Status Tracer::StreamTo(const std::string& path) {
   // start order among the ended — before streaming starts the
   // distinction is unobservable in the file's analysis).
   for (const SpanRecord& span : spans_) {
-    if (span.end_tick != 0) *stream << SpanToJson(span) << '\n';
+    if (span.end_tick != 0) *stream << SpanToJson(span, request_id_) << '\n';
   }
   stream->flush();
   if (!*stream) {

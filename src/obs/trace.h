@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -73,6 +74,19 @@ class Tracer {
 
   Span StartSpan(const std::string& name);
 
+  /// Stamps every rendered span line with `"rid":"<id>"` (leading field),
+  /// mirroring Journal::set_request_id: one combined trace file can then
+  /// carry spans from many concurrent requests without colliding span
+  /// ids. Empty (the default) renders byte-identically to the run-scoped
+  /// format.
+  void set_request_id(const std::string& request_id);
+  std::string request_id() const;
+
+  /// Installs a live tee: `sink` receives each span record the moment it
+  /// ends (under the tracer mutex, so sinks observe spans in end order).
+  /// Pass an empty function to detach.
+  void SetSpanSink(std::function<void(const SpanRecord&)> sink);
+
   /// All spans in start order (open spans have end_tick == 0).
   std::vector<SpanRecord> Spans() const;
 
@@ -108,12 +122,19 @@ class Tracer {
   std::vector<SpanRecord> spans_ CHAMELEON_GUARDED_BY(mutex_);
   // ids of open spans, outermost first
   std::vector<int64_t> stack_ CHAMELEON_GUARDED_BY(mutex_);
+  std::string request_id_ CHAMELEON_GUARDED_BY(mutex_);
+  std::function<void(const SpanRecord&)> span_sink_
+      CHAMELEON_GUARDED_BY(mutex_);
   std::unique_ptr<std::ofstream> stream_ CHAMELEON_GUARDED_BY(mutex_);
   std::string stream_path_ CHAMELEON_GUARDED_BY(mutex_);
 };
 
 /// The single-line JSONL rendering shared by Write and StreamTo.
 std::string SpanToJson(const SpanRecord& span);
+
+/// Request-scoped rendering: a non-empty `request_id` prepends a
+/// `"rid"` field; empty is byte-identical to SpanToJson(span).
+std::string SpanToJson(const SpanRecord& span, const std::string& request_id);
 
 }  // namespace chameleon::obs
 

@@ -1,0 +1,334 @@
+// Unit tests for the daemon-global telemetry aggregator (DESIGN.md §15):
+// sample-merge semantics (counter sum, gauge last-write-wins, histogram
+// bucket/digest merge), merge determinism across merge order, window
+// roll-off on the virtual-ms axis, and the OpenMetrics golden for a
+// multi-request aggregate.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/aggregate.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+
+namespace chameleon::obs {
+namespace {
+
+MetricSample CounterSample(const std::string& name, double value) {
+  MetricSample sample;
+  sample.name = name;
+  sample.type = "counter";
+  sample.value = value;
+  return sample;
+}
+
+MetricSample GaugeSample(const std::string& name, double value) {
+  MetricSample sample;
+  sample.name = name;
+  sample.type = "gauge";
+  sample.value = value;
+  return sample;
+}
+
+MetricSample HistogramSample(const std::string& name,
+                             const std::vector<double>& observations) {
+  Registry registry;
+  Histogram* histogram = registry.Histogram(name, {1.0, 10.0, 100.0});
+  for (const double value : observations) histogram->Observe(value);
+  for (MetricSample& sample : registry.Snapshot()) {
+    if (sample.name == name) return sample;
+  }
+  return MetricSample();
+}
+
+// ---------------------------------------------------------------------------
+// MergeSample / MergeAll units
+// ---------------------------------------------------------------------------
+
+TEST(MergeSampleTest, IntoEmptyCopiesSample) {
+  MergedMetrics merged;
+  MergeSample(&merged, CounterSample("c", 3));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.at("c").type, "counter");
+  EXPECT_EQ(merged.at("c").value, 3.0);
+}
+
+TEST(MergeSampleTest, CountersAddGaugesLastWriteWins) {
+  MergedMetrics merged;
+  MergeSample(&merged, CounterSample("c", 3));
+  MergeSample(&merged, CounterSample("c", 4));
+  MergeSample(&merged, GaugeSample("g", 1.5));
+  MergeSample(&merged, GaugeSample("g", 2.5));
+  EXPECT_EQ(merged.at("c").value, 7.0);
+  EXPECT_EQ(merged.at("g").value, 2.5);
+}
+
+TEST(MergeSampleTest, TypeMismatchDropsSample) {
+  MergedMetrics merged;
+  MergeSample(&merged, CounterSample("m", 3));
+  MergeSample(&merged, GaugeSample("m", 99));
+  EXPECT_EQ(merged.at("m").type, "counter");
+  EXPECT_EQ(merged.at("m").value, 3.0);
+}
+
+TEST(MergeSampleTest, HistogramsAddCountsSumsAndAlignedBuckets) {
+  MergedMetrics merged;
+  MergeSample(&merged, HistogramSample("h", {0.5, 5.0, 50.0}));
+  MergeSample(&merged, HistogramSample("h", {0.5, 500.0}));
+  const MergedMetric& h = merged.at("h");
+  EXPECT_EQ(h.value, 5.0);
+  EXPECT_DOUBLE_EQ(h.sum, 556.0);
+  // Buckets: le=1 -> 2, le=10 -> 1, le=100 -> 1, overflow -> 1.
+  ASSERT_EQ(h.buckets.size(), 4u);
+  EXPECT_EQ(h.buckets[0], 2);
+  EXPECT_EQ(h.buckets[1], 1);
+  EXPECT_EQ(h.buckets[2], 1);
+  EXPECT_EQ(h.buckets[3], 1);
+  EXPECT_EQ(h.digest.count(), 5);
+}
+
+TEST(MergeAllTest, SelfAndDisjointAndOverlappingKeys) {
+  MergedMetrics a;
+  MergeSample(&a, CounterSample("shared", 1));
+  MergeSample(&a, CounterSample("only_a", 10));
+  MergedMetrics b;
+  MergeSample(&b, CounterSample("shared", 2));
+  MergeSample(&b, CounterSample("only_b", 20));
+
+  MergedMetrics out;
+  MergeAll(&out, a);
+  MergeAll(&out, b);
+  EXPECT_EQ(out.at("shared").value, 3.0);
+  EXPECT_EQ(out.at("only_a").value, 10.0);
+  EXPECT_EQ(out.at("only_b").value, 20.0);
+
+  // Self-merge doubles counters (the caller's responsibility to avoid,
+  // but the semantics must be well-defined).
+  MergeAll(&out, out);
+  EXPECT_EQ(out.at("shared").value, 6.0);
+
+  // Empty operand is the identity.
+  MergedMetrics before = out;
+  MergeAll(&out, MergedMetrics());
+  EXPECT_EQ(out.at("shared").value, before.at("shared").value);
+  EXPECT_EQ(out.size(), before.size());
+}
+
+TEST(MergeAllTest, CounterAndBucketMergeIsOrderIndependent) {
+  MergedMetrics a;
+  MergeSample(&a, CounterSample("c", 5));
+  MergeSample(&a, HistogramSample("h", {0.5, 5.0}));
+  MergedMetrics b;
+  MergeSample(&b, CounterSample("c", 7));
+  MergeSample(&b, HistogramSample("h", {50.0}));
+
+  MergedMetrics ab;
+  MergeAll(&ab, a);
+  MergeAll(&ab, b);
+  MergedMetrics ba;
+  MergeAll(&ba, b);
+  MergeAll(&ba, a);
+
+  EXPECT_EQ(ab.at("c").value, ba.at("c").value);
+  EXPECT_EQ(ab.at("h").value, ba.at("h").value);
+  EXPECT_DOUBLE_EQ(ab.at("h").sum, ba.at("h").sum);
+  EXPECT_EQ(ab.at("h").buckets, ba.at("h").buckets);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator: absorb, windows, SLO counters
+// ---------------------------------------------------------------------------
+
+TEST(AggregatorTest, AbsorbFoldsRegistriesIntoTotal) {
+  Aggregator aggregator;
+  Registry r1;
+  r1.Counter("fm.queries")->Increment(100);
+  Registry r2;
+  r2.Counter("fm.queries")->Increment(50);
+  aggregator.Absorb(r1, 1000.0);
+  aggregator.Absorb(r2, 2000.0);
+  EXPECT_EQ(aggregator.absorbed(), 2);
+
+  bool found = false;
+  for (const MetricSample& sample : aggregator.Scrape(2000.0)) {
+    if (sample.name == "fm.queries") {
+      EXPECT_EQ(sample.value, 150.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AggregatorTest, WindowsRollOffOnVirtualClock) {
+  Aggregator aggregator;
+  Registry registry;
+  registry.Counter("fm.queries")->Increment(10);
+  aggregator.Absorb(registry, 0.0);
+
+  // Inside both windows right after the absorb.
+  double w1m = -1.0, w5m = -1.0, total = -1.0;
+  auto read = [&](double now_ms) {
+    w1m = w5m = total = -1.0;
+    for (const MetricSample& sample : aggregator.Scrape(now_ms)) {
+      if (sample.name == "fm.queries") total = sample.value;
+      if (sample.name == "window1m.fm.queries") w1m = sample.value;
+      if (sample.name == "window5m.fm.queries") w5m = sample.value;
+    }
+  };
+  read(1000.0);
+  EXPECT_EQ(total, 10.0);
+  EXPECT_EQ(w1m, 10.0);
+  EXPECT_EQ(w5m, 10.0);
+
+  // Past the 1m window the short view drops the series (no samples),
+  // the 5m view and the total keep it.
+  read(120000.0);
+  EXPECT_EQ(total, 10.0);
+  EXPECT_EQ(w1m, -1.0);
+  EXPECT_EQ(w5m, 10.0);
+
+  // Past the 5m window only the total remains.
+  read(600000.0);
+  EXPECT_EQ(total, 10.0);
+  EXPECT_EQ(w1m, -1.0);
+  EXPECT_EQ(w5m, -1.0);
+}
+
+TEST(AggregatorTest, AddCounterRecordsSloEventsWithoutRequests) {
+  Aggregator aggregator;
+  aggregator.AddCounter("daemon.slo.admission_reject", 1, 100.0);
+  aggregator.AddCounter("daemon.slo.admission_reject", 1, 200.0);
+  aggregator.AddCounter("daemon.slo.parked_rounds", 3, 200.0);
+  aggregator.AddCounter("daemon.slo.noop", 0, 200.0);  // <= 0 ignored
+  EXPECT_EQ(aggregator.absorbed(), 0);  // SLO events are not requests
+
+  double rejects = -1.0, parked = -1.0, noop = -1.0;
+  for (const MetricSample& sample : aggregator.Scrape(200.0)) {
+    if (sample.name == "daemon.slo.admission_reject") rejects = sample.value;
+    if (sample.name == "daemon.slo.parked_rounds") parked = sample.value;
+    if (sample.name == "daemon.slo.noop") noop = sample.value;
+  }
+  EXPECT_EQ(rejects, 2.0);
+  EXPECT_EQ(parked, 3.0);
+  EXPECT_EQ(noop, -1.0);
+}
+
+TEST(AggregatorTest, ScrapeIsSortedByName) {
+  Aggregator aggregator;
+  Registry registry;
+  registry.Counter("zeta")->Increment(1);
+  registry.Counter("alpha")->Increment(1);
+  aggregator.Absorb(registry, 0.0);
+  const std::vector<MetricSample> samples = aggregator.Scrape(0.0);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden: a multi-request aggregate rendered through ExportOpenMetrics.
+// Counters, histogram counts/sums/buckets, and gauges are stable under
+// this fixed absorb order; digests would be too, but the golden pins the
+// whole document anyway since the inputs are fixed.
+// ---------------------------------------------------------------------------
+
+TEST(AggregatorTest, MultiRequestOpenMetricsGolden) {
+  Aggregator aggregator;
+  for (int request = 0; request < 2; ++request) {
+    Registry registry;
+    registry.Counter("fm.queries")->Increment(100 + request);
+    registry.Gauge("run.estimated_p")->Set(0.25 * (request + 1));
+    Histogram* h = registry.Histogram("fm.batch.size", {1.0, 4.0});
+    h->Observe(1.0);
+    h->Observe(3.0);
+    aggregator.Absorb(registry, 1000.0 * request);
+  }
+  const std::string rendered =
+      ExportOpenMetrics(aggregator.Scrape(1000.0));
+  const std::string expected =
+      "# TYPE fm_batch_size histogram\n"
+      "fm_batch_size_bucket{le=\"1\"} 2\n"
+      "fm_batch_size_bucket{le=\"4\"} 4\n"
+      "fm_batch_size_bucket{le=\"+Inf\"} 4\n"
+      "fm_batch_size_sum 8\n"
+      "fm_batch_size_count 4\n"
+      "# TYPE fm_batch_size_latency summary\n"
+      "fm_batch_size_latency{quantile=\"0.5\"} 2\n"
+      "fm_batch_size_latency{quantile=\"0.9\"} 3\n"
+      "fm_batch_size_latency{quantile=\"0.99\"} 3\n"
+      "# TYPE fm_queries counter\n"
+      "fm_queries_total 201\n"
+      "# TYPE run_estimated_p gauge\n"
+      "run_estimated_p 0.5\n"
+      "# TYPE window1m_fm_batch_size histogram\n"
+      "window1m_fm_batch_size_bucket{le=\"1\"} 2\n"
+      "window1m_fm_batch_size_bucket{le=\"4\"} 4\n"
+      "window1m_fm_batch_size_bucket{le=\"+Inf\"} 4\n"
+      "window1m_fm_batch_size_sum 8\n"
+      "window1m_fm_batch_size_count 4\n"
+      "# TYPE window1m_fm_batch_size_latency summary\n"
+      "window1m_fm_batch_size_latency{quantile=\"0.5\"} 2\n"
+      "window1m_fm_batch_size_latency{quantile=\"0.9\"} 3\n"
+      "window1m_fm_batch_size_latency{quantile=\"0.99\"} 3\n"
+      "# TYPE window1m_fm_queries counter\n"
+      "window1m_fm_queries_total 201\n"
+      "# TYPE window1m_run_estimated_p gauge\n"
+      "window1m_run_estimated_p 0.5\n"
+      "# TYPE window5m_fm_batch_size histogram\n"
+      "window5m_fm_batch_size_bucket{le=\"1\"} 2\n"
+      "window5m_fm_batch_size_bucket{le=\"4\"} 4\n"
+      "window5m_fm_batch_size_bucket{le=\"+Inf\"} 4\n"
+      "window5m_fm_batch_size_sum 8\n"
+      "window5m_fm_batch_size_count 4\n"
+      "# TYPE window5m_fm_batch_size_latency summary\n"
+      "window5m_fm_batch_size_latency{quantile=\"0.5\"} 2\n"
+      "window5m_fm_batch_size_latency{quantile=\"0.9\"} 3\n"
+      "window5m_fm_batch_size_latency{quantile=\"0.99\"} 3\n"
+      "# TYPE window5m_fm_queries counter\n"
+      "window5m_fm_queries_total 201\n"
+      "# TYPE window5m_run_estimated_p gauge\n"
+      "window5m_run_estimated_p 0.5\n"
+      "# EOF\n";
+  EXPECT_EQ(rendered, expected);
+}
+
+TEST(AggregatorTest, MergeDeterminismAcrossAbsorbOrder) {
+  // Counters, histogram counts/sums/buckets must not depend on the
+  // order registries are absorbed (gauges and digest quantiles may —
+  // DESIGN.md §15 stable-metric rules).
+  auto build = [](bool reversed) {
+    Aggregator aggregator;
+    Registry r1;
+    r1.Counter("c")->Increment(5);
+    r1.Histogram("h", {1.0, 10.0})->Observe(0.5);
+    Registry r2;
+    r2.Counter("c")->Increment(9);
+    r2.Histogram("h", {1.0, 10.0})->Observe(5.0);
+    if (reversed) {
+      aggregator.Absorb(r2, 0.0);
+      aggregator.Absorb(r1, 0.0);
+    } else {
+      aggregator.Absorb(r1, 0.0);
+      aggregator.Absorb(r2, 0.0);
+    }
+    return aggregator.Scrape(0.0);
+  };
+  const std::vector<MetricSample> forward = build(false);
+  const std::vector<MetricSample> reverse = build(true);
+  ASSERT_EQ(forward.size(), reverse.size());
+  for (size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].name, reverse[i].name);
+    EXPECT_EQ(forward[i].type, reverse[i].type);
+    if (forward[i].type == "histogram") {
+      EXPECT_EQ(forward[i].value, reverse[i].value) << forward[i].name;
+      EXPECT_DOUBLE_EQ(forward[i].sum, reverse[i].sum) << forward[i].name;
+      EXPECT_EQ(forward[i].buckets, reverse[i].buckets) << forward[i].name;
+    } else {
+      EXPECT_EQ(forward[i].value, reverse[i].value) << forward[i].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::obs

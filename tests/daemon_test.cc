@@ -6,10 +6,13 @@
 // whose faults were fully masked are bit-identical to clean runs.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,8 +25,11 @@
 #include "src/fm/flaky_foundation_model.h"
 #include "src/fm/resilient_foundation_model.h"
 #include "src/fm/simulated_foundation_model.h"
+#include "src/obs/observability.h"
+#include "src/obs/trace.h"
 #include "src/util/status.h"
 #include "tools/chameleond/daemon.h"
+#include "tools/obsctl/analysis.h"
 #include "tools/chameleond/frame.h"
 #include "tools/chameleond/protocol.h"
 #include "tools/chameleond/transport.h"
@@ -703,6 +709,272 @@ TEST(DaemonTest, ResumedDaemonRebuildsIncrementalIndexFromScratch) {
   EXPECT_EQ(stats.resumed, 1);
   EXPECT_EQ(stats.index_warm_hits, 0);
   EXPECT_EQ(stats.index_warm_misses, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped telemetry and live stats/statusz (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+struct StandaloneArtifacts {
+  std::vector<std::string> journal_lines;
+  std::vector<std::string> span_lines;
+  std::string digest;
+};
+
+/// Runs the identical micro repair directly against core::Chameleon with
+/// an Observability tagged `spec.id` — the reference artifacts every
+/// telemetry-enabled daemon run must reproduce byte-for-byte. The span
+/// sink collects spans in end order, exactly like the daemon's tee.
+StandaloneArtifacts StandaloneMicroTelemetry(const RepairRequestSpec& spec) {
+  StandaloneArtifacts out;
+  embedding::SimulatedEmbedder embedder;
+  fm::EvaluatorPool evaluators(2024);
+  auto corpus = MakeMicroCorpus(&embedder);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  if (!corpus.ok()) return out;
+  fm::SimulatedFoundationModel sim(
+      corpus->dataset.schema(), datasets::FeretFaceStyleFn(),
+      datasets::FeretScene(), fm::SimulatedFoundationModel::Options());
+  fm::ResilientFoundationModel resilient(&sim, spec.resilience);
+  obs::Observability observability;
+  observability.set_request_id(spec.id);
+  observability.tracer.SetSpanSink(
+      [&out, &spec](const obs::SpanRecord& span) {
+        out.span_lines.push_back(obs::SpanToJson(span, spec.id));
+      });
+  core::ChameleonOptions options;
+  options.tau = spec.tau;
+  options.seed = spec.seed;
+  options.max_queries = spec.max_queries;
+  options.rejection_batch = spec.rejection_batch;
+  options.num_threads = spec.num_threads;
+  options.observability = &observability;
+  core::Chameleon system(&resilient, &embedder, &evaluators, options);
+  auto report = system.RepairMinLevelMups(&*corpus);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  out.journal_lines = observability.journal.Lines();
+  if (report.ok()) out.digest = ReportDigest(*report);
+  return out;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(DaemonTest, TelemetryJournalByteIdenticalToStandalone) {
+  for (const int threads : {1, 2, 8}) {
+    RepairRequestSpec spec = MicroSpec("tele" + std::to_string(threads));
+    spec.num_threads = threads;
+    const StandaloneArtifacts expected = StandaloneMicroTelemetry(spec);
+    ASSERT_FALSE(expected.journal_lines.empty());
+    ASSERT_FALSE(expected.span_lines.empty());
+
+    const std::string journal_path =
+        testing::TempDir() + "/daemon_tele_" + std::to_string(threads) +
+        ".jsonl";
+    std::remove(journal_path.c_str());
+    DaemonOptions options;
+    options.journal_path = journal_path;
+    options.telemetry = true;
+    RunningDaemon server(options);
+    server.Start();
+    SendPayload(server.client(), RenderRepairRequest(spec));
+    obsctl::JsonValue report = AwaitFrame(server.client(), "report", spec.id);
+    EXPECT_EQ(report.StringOr("status", ""), "ok");
+    EXPECT_EQ(report.StringOr("records_digest", ""), expected.digest);
+    server.Finish();
+
+    auto aggregate = obsctl::AggregateDaemonJournal(ReadWholeFile(journal_path));
+    ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
+    ASSERT_EQ(aggregate->requests.size(), 1u);
+    const obsctl::RequestRollup& rollup = aggregate->requests[0];
+    EXPECT_EQ(rollup.id, spec.id);
+    EXPECT_TRUE(rollup.contract_ok);
+    // The request-scoped telemetry contract: the daemon-extracted
+    // artifacts are byte-identical to the standalone run's, at every
+    // repair thread count.
+    EXPECT_EQ(rollup.journal_lines, expected.journal_lines)
+        << "threads=" << threads;
+    EXPECT_EQ(rollup.span_lines, expected.span_lines)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DaemonTest, ConcurrentTelemetryDemuxesPerRequest) {
+  // Two concurrent telemetry-tagged requests interleave wrapper events
+  // in one daemon journal; each extracted slice must still match its
+  // own standalone run byte-for-byte.
+  RepairRequestSpec spec_a = MicroSpec("mux-a");
+  RepairRequestSpec spec_b = MicroSpec("mux-b");
+  spec_b.seed = 17;
+  const StandaloneArtifacts expected_a = StandaloneMicroTelemetry(spec_a);
+  const StandaloneArtifacts expected_b = StandaloneMicroTelemetry(spec_b);
+
+  const std::string journal_path = testing::TempDir() + "/daemon_mux.jsonl";
+  std::remove(journal_path.c_str());
+  DaemonOptions options;
+  options.journal_path = journal_path;
+  options.telemetry = true;
+  options.num_threads = 2;
+  RunningDaemon server(options);
+  server.Start();
+  spec_a.client = "a";
+  spec_b.client = "b";
+  SendPayload(server.client(), RenderRepairRequest(spec_a));
+  SendPayload(server.client(), RenderRepairRequest(spec_b));
+  CollectReports(server.client(), 2);
+  server.Finish();
+
+  auto aggregate = obsctl::AggregateDaemonJournal(ReadWholeFile(journal_path));
+  ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
+  ASSERT_EQ(aggregate->requests.size(), 2u);
+  EXPECT_TRUE(aggregate->AllContractsHold());
+  for (const obsctl::RequestRollup& rollup : aggregate->requests) {
+    const StandaloneArtifacts& expected =
+        rollup.id == "mux-a" ? expected_a : expected_b;
+    EXPECT_EQ(rollup.journal_lines, expected.journal_lines) << rollup.id;
+    EXPECT_EQ(rollup.span_lines, expected.span_lines) << rollup.id;
+  }
+}
+
+TEST(DaemonTest, StatsAndStatuszServedUnderChaos) {
+  PipePair pipe;
+  FlakyTransport::Options chaos;
+  chaos.max_read_chunk = 3;
+  chaos.unavailable_every = 9;
+  FlakyTransport flaky(pipe.server(), chaos);
+  DaemonOptions options;
+  options.num_threads = 4;
+  options.telemetry = true;
+  Daemon daemon(&flaky, options);
+  util::Status serve_status = util::Status::Ok();
+  std::thread thread([&] { serve_status = daemon.Serve(); });
+
+  for (int i = 0; i < 4; ++i) {
+    RepairRequestSpec spec = MaskedFaultSpec("s" + std::to_string(i));
+    spec.client = "c" + std::to_string(i);
+    SendPayload(pipe.client(), RenderRepairRequest(spec));
+  }
+  // statusz answers live while repairs are still in flight.
+  SendPayload(pipe.client(), RenderStatuszRequest());
+  obsctl::JsonValue live = AwaitFrame(pipe.client(), "statusz");
+  EXPECT_EQ(live.IntOr("accepted_total", -1), 4);
+  EXPECT_TRUE(live.BoolOr("telemetry", false));
+  EXPECT_FALSE(live.BoolOr("draining", true));
+
+  CollectReports(pipe.client(), 4);
+
+  // After completion the aggregate holds all four requests and the
+  // scrape is a valid OpenMetrics document with the expected series.
+  SendPayload(pipe.client(), RenderStatsRequest());
+  obsctl::JsonValue stats_frame = AwaitFrame(pipe.client(), "stats");
+  EXPECT_EQ(stats_frame.StringOr("format", ""), "openmetrics");
+  const std::string body = stats_frame.StringOr("body", "");
+  const util::Status valid = obsctl::ValidateOpenMetrics(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_NE(body.find("fm_queries_total"), std::string::npos);
+  EXPECT_NE(body.find("window1m_fm_queries_total"), std::string::npos);
+  EXPECT_NE(body.find("window5m_fm_queries_total"), std::string::npos);
+
+  // The report frame is sent *before* the worker releases its slot, so
+  // a statusz racing right behind the reports can still see the last
+  // worker mid-teardown; poll until the counters settle.
+  obsctl::JsonValue done;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    SendPayload(pipe.client(), RenderStatuszRequest());
+    done = AwaitFrame(pipe.client(), "statusz");
+    if (done.IntOr("completed_total", -1) == 4 &&
+        done.IntOr("inflight", -1) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(done.IntOr("completed_total", -1), 4);
+  EXPECT_EQ(done.IntOr("requests_absorbed", -1), 4);
+  EXPECT_EQ(done.IntOr("inflight", -1), 0);
+
+  pipe.client()->Close();
+  thread.join();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+  EXPECT_EQ(daemon.stats().active, 0);
+}
+
+TEST(DaemonTest, AdmissionRejectsCountedInSloScrape) {
+  DaemonOptions options;
+  options.max_queue = 2;
+  options.max_inflight_per_client = 1;
+  options.num_threads = 1;
+  RunningDaemon server(options);
+  server.Start();
+
+  RepairRequestSpec r1 = MicroSpec("r1");
+  r1.client = "a";
+  r1.tau = 40;
+  SendPayload(server.client(), RenderRepairRequest(r1));
+  AwaitFrame(server.client(), "ack", "r1");
+  RepairRequestSpec r2 = MicroSpec("r2");
+  r2.client = "a";  // per-client cap rejection
+  SendPayload(server.client(), RenderRepairRequest(r2));
+  AwaitFrame(server.client(), "error", "r2");
+
+  SendPayload(server.client(), RenderStatsRequest());
+  obsctl::JsonValue stats_frame = AwaitFrame(server.client(), "stats");
+  const std::string body = stats_frame.StringOr("body", "");
+  // SLO counters are recorded even with --telemetry off.
+  EXPECT_NE(body.find("daemon_slo_admission_reject_total 1"),
+            std::string::npos)
+      << body;
+
+  AwaitFrame(server.client(), "report", "r1");
+  server.Finish();
+  EXPECT_EQ(server.daemon().stats().rejected_overload, 1);
+}
+
+TEST(DaemonTest, StatsAndStatuszServedAfterCrashResume) {
+  const std::string journal_path = testing::TempDir() + "/daemon_tele_crash.jsonl";
+  {
+    // A telemetry daemon killed mid-request: "lost" accepted but never
+    // ended, a torn wrapper line at the tail.
+    std::ofstream out(journal_path, std::ios::trunc);
+    out << R"({"type":"daemon.start","tick":1,"max_queue":32})" << "\n";
+    out << R"({"type":"req.accepted","tick":2,"id":"lost","client":"a",)"
+        << R"("dataset":"micro","tau":6,"seed":11,"deadline_ms":0})" << "\n";
+    out << R"({"type":"req.start","tick":3,"id":"lost"})" << "\n";
+    out << R"({"type":"req.event","tick":4,"rid":"lost","line":"{\"ty)";
+  }
+
+  DaemonOptions options;
+  options.journal_path = journal_path;
+  options.telemetry = true;
+  RunningDaemon server(options);
+  server.Start(/*resume=*/true);
+  EXPECT_EQ(AwaitFrame(server.client(), "resumed").StringOr("id", ""), "lost");
+
+  // The resumed daemon's aggregate starts empty (telemetry is live
+  // state, not journal state) and serves fresh traffic + scrapes.
+  SendPayload(server.client(), RenderStatuszRequest());
+  obsctl::JsonValue fresh = AwaitFrame(server.client(), "statusz");
+  EXPECT_TRUE(fresh.BoolOr("telemetry", false));
+  EXPECT_EQ(fresh.IntOr("requests_absorbed", -1), 0);
+
+  SendPayload(server.client(), RenderRepairRequest(MicroSpec("after")));
+  AwaitFrame(server.client(), "report", "after");
+
+  SendPayload(server.client(), RenderStatsRequest());
+  obsctl::JsonValue stats_frame = AwaitFrame(server.client(), "stats");
+  EXPECT_EQ(stats_frame.StringOr("format", ""), "openmetrics");
+  const std::string body = stats_frame.StringOr("body", "");
+  const util::Status valid = obsctl::ValidateOpenMetrics(body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_NE(body.find("fm_queries_total"), std::string::npos);
+
+  server.Finish();
+  EXPECT_TRUE(server.serve_status().ok()) << server.serve_status().ToString();
+  EXPECT_EQ(server.daemon().stats().resumed, 1);
 }
 
 }  // namespace

@@ -464,5 +464,223 @@ TEST(ObsctlPipelineTest, TruncatedJournalStillAnalyzes) {
   EXPECT_NE(report->rendered.find("run.end: missing"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Interleaved multi-request traces (the combined daemon trace case)
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeTraceTest, InterleavedRequestsKeyedByRidAndId) {
+  // Two concurrent requests both number their spans from 1. Keyed by id
+  // alone, request B's span 1 would collide with request A's and the
+  // depth-1 child would attach to the wrong parent.
+  const std::string trace =
+      "{\"rid\":\"a\",\"id\":1,\"parent\":0,\"depth\":0,\"name\":\"repair.run\","
+      "\"start_tick\":1,\"end_tick\":20}\n"
+      "{\"rid\":\"b\",\"id\":1,\"parent\":0,\"depth\":0,\"name\":\"repair.run\","
+      "\"start_tick\":1,\"end_tick\":30}\n"
+      "{\"rid\":\"a\",\"id\":2,\"parent\":1,\"depth\":1,\"name\":\"plan.entry\","
+      "\"start_tick\":2,\"end_tick\":10}\n"
+      "{\"rid\":\"b\",\"id\":2,\"parent\":1,\"depth\":1,\"name\":\"plan.entry\","
+      "\"start_tick\":3,\"end_tick\":13}\n";
+  bool truncated = true;
+  auto rollups = AnalyzeTrace(trace, &truncated);
+  ASSERT_TRUE(rollups.ok()) << rollups.status().ToString();
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(rollups->size(), 2u);
+  // Four distinct spans, not two: (a,1), (b,1), (a,2), (b,2).
+  EXPECT_EQ((*rollups)[0].name, "repair.run");
+  EXPECT_EQ((*rollups)[0].count, 2);
+  EXPECT_EQ((*rollups)[0].depth, 0);
+  EXPECT_EQ((*rollups)[0].total_ticks, 19 + 29);
+  EXPECT_EQ((*rollups)[1].name, "plan.entry");
+  EXPECT_EQ((*rollups)[1].count, 2);
+  EXPECT_EQ((*rollups)[1].depth, 1);
+  EXPECT_EQ((*rollups)[1].total_ticks, 8 + 10);
+}
+
+TEST(AnalyzeTraceTest, DuplicateRecordsPreferCompletedSpan) {
+  // A streamed trace can carry a catch-up record (open) and the final
+  // record (ended) for the same span; they must collapse to one span.
+  const std::string trace =
+      "{\"rid\":\"a\",\"id\":1,\"parent\":0,\"depth\":0,\"name\":\"repair.run\","
+      "\"start_tick\":1,\"end_tick\":0}\n"
+      "{\"rid\":\"a\",\"id\":1,\"parent\":0,\"depth\":0,\"name\":\"repair.run\","
+      "\"start_tick\":1,\"end_tick\":9}\n";
+  bool truncated = false;
+  auto rollups = AnalyzeTrace(trace, &truncated);
+  ASSERT_TRUE(rollups.ok());
+  ASSERT_EQ(rollups->size(), 1u);
+  EXPECT_EQ((*rollups)[0].count, 1);
+  EXPECT_EQ((*rollups)[0].open, 0);
+  EXPECT_EQ((*rollups)[0].total_ticks, 8);
+}
+
+TEST(AnalyzeTraceTest, BrokenParentChainFallsBackToRecordedDepth) {
+  // Parent 7 never appears (streamed partial file): the recorded depth
+  // is trusted instead of walking the chain.
+  const std::string trace =
+      "{\"id\":9,\"parent\":7,\"depth\":3,\"name\":\"orphan\","
+      "\"start_tick\":5,\"end_tick\":6}\n";
+  bool truncated = false;
+  auto rollups = AnalyzeTrace(trace, &truncated);
+  ASSERT_TRUE(rollups.ok());
+  ASSERT_EQ(rollups->size(), 1u);
+  EXPECT_EQ((*rollups)[0].depth, 3);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics validation
+// ---------------------------------------------------------------------------
+
+TEST(ValidateOpenMetricsTest, AcceptsWellFormedExposition) {
+  const std::string text =
+      "# TYPE fm_queries counter\n"
+      "fm_queries_total 320\n"
+      "# TYPE run_estimated_p gauge\n"
+      "run_estimated_p 0.834\n"
+      "# TYPE fm_batch_size histogram\n"
+      "fm_batch_size_bucket{le=\"1\"} 82\n"
+      "fm_batch_size_bucket{le=\"+Inf\"} 144\n"
+      "fm_batch_size_sum 320\n"
+      "fm_batch_size_count 144\n"
+      "# TYPE fm_batch_size_latency summary\n"
+      "fm_batch_size_latency{quantile=\"0.5\"} 1\n"
+      "# EOF\n";
+  const util::Status status = ValidateOpenMetrics(text);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ValidateOpenMetricsTest, RejectsStructuralViolations) {
+  // Missing # EOF terminator.
+  EXPECT_FALSE(
+      ValidateOpenMetrics("# TYPE c counter\nc_total 1\n").ok());
+  // Sample without a TYPE declaration.
+  EXPECT_FALSE(ValidateOpenMetrics("undeclared_total 1\n# EOF\n").ok());
+  // Counter sample without the _total suffix.
+  EXPECT_FALSE(
+      ValidateOpenMetrics("# TYPE c counter\nc 1\n# EOF\n").ok());
+  // Non-cumulative buckets.
+  EXPECT_FALSE(ValidateOpenMetrics("# TYPE h histogram\n"
+                                   "h_bucket{le=\"1\"} 5\n"
+                                   "h_bucket{le=\"+Inf\"} 3\n"
+                                   "h_sum 1\nh_count 5\n# EOF\n")
+                   .ok());
+  // Bucket after le="+Inf".
+  EXPECT_FALSE(ValidateOpenMetrics("# TYPE h histogram\n"
+                                   "h_bucket{le=\"+Inf\"} 3\n"
+                                   "h_bucket{le=\"9\"} 3\n"
+                                   "h_sum 1\nh_count 3\n# EOF\n")
+                   .ok());
+  // Non-numeric sample value.
+  EXPECT_FALSE(
+      ValidateOpenMetrics("# TYPE c counter\nc_total x\n# EOF\n").ok());
+  // Unknown metric kind.
+  EXPECT_FALSE(ValidateOpenMetrics("# TYPE c untyped\n# EOF\n").ok());
+  // Duplicate declaration.
+  EXPECT_FALSE(ValidateOpenMetrics("# TYPE c counter\n# TYPE c gauge\n"
+                                   "c_total 1\n# EOF\n")
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Daemon journal aggregation and tail rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A minimal two-request daemon journal with interleaved wrapper events.
+/// The inner lines are a self-consistent micro journal per request so
+/// the per-request contract check has something real to verify.
+std::string TwoRequestDaemonJournal() {
+  return
+      R"({"type":"daemon.start","tick":1,"max_queue":32})" "\n"
+      R"({"type":"req.accepted","tick":2,"id":"a","client":"x","dataset":"micro","tau":4,"seed":11,"deadline_ms":0})" "\n"
+      R"({"type":"req.accepted","tick":3,"id":"b","client":"y","dataset":"micro","tau":4,"seed":11,"deadline_ms":0})" "\n"
+      R"({"type":"req.event","tick":4,"rid":"a","line":"{\"type\":\"run.start\",\"tick\":1,\"rid\":\"a\",\"tau\":4,\"seed\":11}"})" "\n"
+      R"({"type":"req.event","tick":5,"rid":"b","line":"{\"type\":\"run.start\",\"tick\":1,\"rid\":\"b\",\"tau\":4,\"seed\":11}"})" "\n"
+      R"({"type":"req.span","tick":6,"rid":"a","line":"{\"rid\":\"a\",\"id\":1,\"parent\":0,\"depth\":0,\"name\":\"repair.run\",\"start_tick\":1,\"end_tick\":9,\"start_ms\":0,\"end_ms\":1}"})" "\n"
+      R"({"type":"req.event","tick":7,"rid":"a","line":"{\"type\":\"run.end\",\"tick\":9,\"rid\":\"a\",\"queries\":0,\"accepted\":0,\"parked\":0,\"fully_resolved\":true}"})" "\n"
+      R"({"type":"req.event","tick":8,"rid":"b","line":"{\"type\":\"run.end\",\"tick\":9,\"rid\":\"b\",\"queries\":0,\"accepted\":0,\"parked\":0,\"fully_resolved\":true}"})" "\n"
+      R"({"type":"req.end","tick":9,"id":"a","status":"ok","accepted":0,"queries":0,"parked":0,"digest":"d1"})" "\n"
+      R"({"type":"req.end","tick":10,"id":"b","status":"ok","accepted":0,"queries":0,"parked":0,"digest":"d2"})" "\n"
+      R"({"type":"daemon.exit","tick":11,"forced":false,"drained":0})" "\n";
+}
+
+}  // namespace
+
+TEST(AggregateDaemonJournalTest, SplitsInterleavedRequests) {
+  auto aggregate = AggregateDaemonJournal(TwoRequestDaemonJournal());
+  ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
+  EXPECT_TRUE(aggregate->has_daemon_start);
+  EXPECT_TRUE(aggregate->has_daemon_exit);
+  EXPECT_FALSE(aggregate->truncated_tail);
+  EXPECT_EQ(aggregate->total_lines, 11);
+  EXPECT_EQ(aggregate->wrapper_events, 5);
+  ASSERT_EQ(aggregate->requests.size(), 2u);
+
+  const RequestRollup& a = aggregate->requests[0];
+  EXPECT_EQ(a.id, "a");
+  EXPECT_EQ(a.client, "x");
+  EXPECT_EQ(a.status, "ok");
+  EXPECT_EQ(a.digest, "d1");
+  ASSERT_EQ(a.journal_lines.size(), 2u);
+  // The unwrapped line is the original bytes, escapes undone.
+  EXPECT_EQ(a.journal_lines[0],
+            R"({"type":"run.start","tick":1,"rid":"a","tau":4,"seed":11})");
+  ASSERT_EQ(a.span_lines.size(), 1u);
+  EXPECT_TRUE(a.contract_ok);
+
+  const RequestRollup& b = aggregate->requests[1];
+  EXPECT_EQ(b.id, "b");
+  EXPECT_EQ(b.client, "y");
+  EXPECT_EQ(b.span_lines.size(), 0u);
+  EXPECT_TRUE(b.contract_ok);
+  EXPECT_TRUE(aggregate->AllContractsHold());
+
+  const std::string rendered = RenderDaemonAggregate(*aggregate);
+  EXPECT_NE(rendered.find("| a"), std::string::npos);
+  EXPECT_NE(rendered.find("| b"), std::string::npos);
+  EXPECT_NE(rendered.find("OK"), std::string::npos);
+}
+
+TEST(AggregateDaemonJournalTest, ContractViolationInOneRequestFlagged) {
+  // Request "bad" journals an fm.query with no verdict and no park —
+  // the registry contract cannot hold for its slice.
+  const std::string journal =
+      R"({"type":"req.accepted","tick":1,"id":"bad","client":"x","dataset":"micro","tau":4,"seed":11,"deadline_ms":0})" "\n"
+      R"({"type":"req.event","tick":2,"rid":"bad","line":"{\"type\":\"fm.query\",\"tick\":1,\"rid\":\"bad\",\"target\":\"0,3\",\"arm\":0}"})" "\n";
+  auto aggregate = AggregateDaemonJournal(journal);
+  ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
+  ASSERT_EQ(aggregate->requests.size(), 1u);
+  EXPECT_FALSE(aggregate->requests[0].contract_ok);
+  EXPECT_FALSE(aggregate->AllContractsHold());
+  EXPECT_NE(RenderDaemonAggregate(*aggregate).find("VIOLATED"),
+            std::string::npos);
+}
+
+TEST(AggregateDaemonJournalTest, ToleratesTruncatedTail) {
+  std::string journal = TwoRequestDaemonJournal();
+  journal.resize(journal.size() - 20);  // tear the final line
+  auto aggregate = AggregateDaemonJournal(journal);
+  ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
+  EXPECT_TRUE(aggregate->truncated_tail);
+  EXPECT_EQ(aggregate->requests.size(), 2u);
+}
+
+TEST(RenderTailLineTest, UnwrapsWrapperEventsAndPassesOthersThrough) {
+  EXPECT_EQ(
+      RenderTailLine(
+          R"({"type":"req.event","tick":4,"rid":"a","line":"{\"type\":\"run.start\",\"tick\":1}"})"),
+      R"([a] {"type":"run.start","tick":1})");
+  EXPECT_EQ(
+      RenderTailLine(
+          R"({"type":"req.span","tick":5,"rid":"b","line":"{\"rid\":\"b\",\"id\":1}"})"),
+      R"([b] {"rid":"b","id":1})");
+  const std::string passthrough =
+      R"({"type":"req.start","tick":3,"id":"a"})";
+  EXPECT_EQ(RenderTailLine(passthrough), passthrough);
+  // Unparseable lines must pass through verbatim, never be hidden.
+  EXPECT_EQ(RenderTailLine("not json at all"), "not json at all");
+}
+
 }  // namespace
 }  // namespace chameleon::obsctl

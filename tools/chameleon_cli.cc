@@ -299,10 +299,17 @@ int CmdRepair(const Flags& flags) {
     }
   }
   obs::Observability observability;
+  // --request-id tags every journal line and span with a stable id
+  // (DESIGN.md §15) — the same id chameleond stamps on its side, which is
+  // how a daemon request's journal is checked byte-for-byte against the
+  // equivalent standalone run. Setting it implies observing.
+  const std::string request_id = flags.Get("request-id", "");
   const bool observe = flags.Has("metrics") || !metrics_out.empty() ||
                        !trace_out.empty() || !journal_out.empty() ||
-                       !openmetrics_out.empty() || !trace_json_out.empty();
+                       !openmetrics_out.empty() || !trace_json_out.empty() ||
+                       !request_id.empty();
   if (observe) options.observability = &observability;
+  if (!request_id.empty()) observability.set_request_id(request_id);
 
   // Journal and trace sinks stream append+flush per line so a killed run
   // still leaves an analyzable prefix on disk (obsctl tolerates the
@@ -475,7 +482,8 @@ int Usage() {
                "[--incremental-coverage]\n"
                "         [--metrics] [--metrics-out=FILE] [--trace-out=FILE] "
                "[--journal-out=FILE]\n"
-               "         [--openmetrics-out=FILE] [--trace-json-out=FILE]\n");
+               "         [--openmetrics-out=FILE] [--trace-json-out=FILE] "
+               "[--request-id=ID]\n");
   return 2;
 }
 

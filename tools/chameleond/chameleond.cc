@@ -2,7 +2,7 @@
 // JSONL frame protocol on stdin/stdout; see DESIGN.md §13 and README
 // "Running as a service".
 //
-//   chameleond --journal=daemon.jsonl --resume --max-queue=32 \
+//   chameleond --journal=daemon.jsonl --resume --max-queue=32
 //              --max-inflight=8 --threads=4 --drain-wait-ms=5000
 //
 // SIGINT/SIGTERM trigger a graceful drain: admissions close, in-flight
@@ -49,8 +49,13 @@ int Usage() {
       stderr,
       "usage: chameleond [--journal=PATH] [--resume] [--max-queue=N]\n"
       "                  [--max-inflight=N] [--threads=N]\n"
-      "                  [--drain-wait-ms=MS]\n"
-      "Serves the chameleond frame protocol on stdin/stdout.\n");
+      "                  [--drain-wait-ms=MS] [--telemetry]\n"
+      "                  [--stats-out=PATH]\n"
+      "Serves the chameleond frame protocol on stdin/stdout.\n"
+      "--telemetry gives every request its own request-scoped journal/\n"
+      "trace/metrics (teed into the daemon journal) and folds finished\n"
+      "requests into the live `stats` aggregate; --stats-out mirrors\n"
+      "each stats scrape (and the final drain) to a file.\n");
   return 2;
 }
 
@@ -63,6 +68,10 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--journal=", 10) == 0) {
       options.journal_path = arg + 10;
+    } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
+      options.stats_out = arg + 12;
+    } else if (std::strcmp(arg, "--telemetry") == 0) {
+      options.telemetry = true;
     } else if (std::strcmp(arg, "--resume") == 0) {
       resume = true;
     } else if (ParseIntFlag(arg, "--max-queue", &options.max_queue) ||

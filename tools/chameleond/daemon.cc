@@ -16,6 +16,9 @@
 #include "src/fm/evaluator_pool.h"
 #include "src/fm/flaky_foundation_model.h"
 #include "src/fm/simulated_foundation_model.h"
+#include "src/obs/export.h"
+#include "src/obs/observability.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
 #include "tools/chameleond/frame.h"
 #include "tools/obsctl/json.h"
@@ -110,7 +113,8 @@ struct WarmIndexExchange {
 /// even it exchanges clones, never shared state.
 util::Result<core::RepairReport> ExecuteRepair(const RepairRequestSpec& spec,
                                                fm::Deadline* deadline,
-                                               WarmIndexExchange* warm) {
+                                               WarmIndexExchange* warm,
+                                               obs::Observability* obs) {
   embedding::SimulatedEmbedder embedder;
   fm::EvaluatorPool evaluators(2024);
   auto world = BuildWorld(spec, &embedder);
@@ -135,6 +139,7 @@ util::Result<core::RepairReport> ExecuteRepair(const RepairRequestSpec& spec,
   options.num_threads = spec.num_threads;
   options.deadline = deadline;
   options.incremental_coverage = spec.incremental;
+  options.observability = obs;  // null = telemetry off, zero overhead
   core::Chameleon system(&resilient, &embedder, &evaluators, options);
   if (spec.incremental && warm != nullptr) {
     const data::Dataset& dataset = world->corpus.dataset;
@@ -347,6 +352,16 @@ util::Status Daemon::HandleFrame(const std::string& payload) {
                            : RenderError(frame->spec.id, admitted.code(),
                                          admitted.message()));
     }
+    case FrameKind::kStats: {
+      // Served from the aggregator's live state — in-flight requests are
+      // mid-absorb by definition, so the snapshot covers every request
+      // that *finished* before the scrape (the scrape contract).
+      const std::string body = ScrapeOpenMetrics();
+      WriteStatsSnapshot();
+      return SendFrame(RenderStats(body));
+    }
+    case FrameKind::kStatusz:
+      return SendFrame(RenderStatusz(CollectStatusz()));
   }
   return util::Status::Internal("unhandled frame kind");
 }
@@ -368,6 +383,8 @@ util::Status Daemon::Submit(const RepairRequestSpec& spec) {
     }
     if (stats_.active >= options_.max_queue) {
       ++stats_.rejected_overload;
+      aggregator_.AddCounter("daemon.slo.admission_reject", 1,
+                             clock_.NowMs());
       return util::Status::ResourceExhausted(
           "request queue is full (" + std::to_string(options_.max_queue) +
           " in flight); retry with backoff");
@@ -375,6 +392,8 @@ util::Status Daemon::Submit(const RepairRequestSpec& spec) {
     int& inflight = inflight_by_client_[spec.client];
     if (inflight >= options_.max_inflight_per_client) {
       ++stats_.rejected_overload;
+      aggregator_.AddCounter("daemon.slo.admission_reject", 1,
+                             clock_.NowMs());
       return util::Status::ResourceExhausted(
           "client '" + spec.client + "' is at its in-flight cap (" +
           std::to_string(options_.max_inflight_per_client) + ")");
@@ -419,6 +438,34 @@ util::Status Daemon::Cancel(const std::string& id) {
 void Daemon::RunRequest(const RepairRequestSpec& spec,
                         const std::shared_ptr<fm::Deadline>& deadline) {
   journal_.Record(obs::JournalEvent("req.start").Set("id", spec.id));
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++stats_.running;
+  }
+
+  // Request-scoped telemetry (DESIGN.md §15): the request runs against
+  // its own Observability — own VirtualClock, registry, journal, tracer —
+  // tagged with the wire id. Its artifacts are therefore byte-identical
+  // to a standalone `chameleon_cli --request-id=<id>` run of the same
+  // config; the daemon merely *wraps* each line into its own journal
+  // (`req.event`/`req.span`), preserving the original bytes inside the
+  // `line` field. Lock order: request-journal mutex, then daemon-journal
+  // mutex — never the reverse.
+  std::optional<obs::Observability> request_obs;
+  if (options_.telemetry) {
+    request_obs.emplace();
+    request_obs->set_request_id(spec.id);
+    request_obs->journal.SetLineSink([this, &spec](const std::string& line) {
+      journal_.Record(obs::JournalEvent("req.event")
+                          .Set("rid", spec.id)
+                          .Set("line", line));
+    });
+    request_obs->tracer.SetSpanSink([this, &spec](const obs::SpanRecord& span) {
+      journal_.Record(obs::JournalEvent("req.span")
+                          .Set("rid", spec.id)
+                          .Set("line", obs::SpanToJson(span, spec.id)));
+    });
+  }
 
   // Incremental requests clone the warm (dataset, tau) index if one is
   // cached; the clone — never the cached instance — is what the repair
@@ -439,7 +486,25 @@ void Daemon::RunRequest(const RepairRequestSpec& spec,
   }
 
   auto report =
-      ExecuteRepair(spec, deadline.get(), warm.has_value() ? &*warm : nullptr);
+      ExecuteRepair(spec, deadline.get(), warm.has_value() ? &*warm : nullptr,
+                    request_obs.has_value() ? &*request_obs : nullptr);
+
+  // The daemon's own virtual clock advances by each request's consumed
+  // virtual time, so aggregator windows measure served virtual load.
+  clock_.AdvanceMs(deadline->ElapsedMs());
+  const double now_ms = clock_.NowMs();
+  if (request_obs.has_value()) {
+    aggregator_.Absorb(request_obs->registry, now_ms);
+  }
+  if (report.ok()) {
+    if (report->deadline_expired) {
+      aggregator_.AddCounter("daemon.slo.deadline_miss", 1, now_ms);
+    }
+    if (report->faults.parked_entries() > 0) {
+      aggregator_.AddCounter("daemon.slo.parked_rounds",
+                             report->faults.parked_entries(), now_ms);
+    }
+  }
 
   if (warm.has_value() && warm->built.has_value()) {
     std::lock_guard<std::mutex> lock(index_mutex_);
@@ -481,8 +546,10 @@ void Daemon::RunRequest(const RepairRequestSpec& spec,
       inflight_by_client_.erase(it);
     }
     --stats_.active;
+    --stats_.running;
     ++stats_.completed;
     if (was_cancelled) ++stats_.cancelled;
+    if (report.ok() && report->deadline_expired) ++stats_.deadline_expired;
     if (spec.incremental) {
       if (warm_hit) {
         ++stats_.index_warm_hits;
@@ -517,10 +584,45 @@ util::Status Daemon::Drain() {
   }
   lock.unlock();
 
+  WriteStatsSnapshot();
   journal_.Record(obs::JournalEvent("daemon.exit")
                       .Set("forced", !voluntary)
                       .Set("drained", active_at_drain));
   return util::Status::Ok();
+}
+
+std::string Daemon::ScrapeOpenMetrics() {
+  return obs::ExportOpenMetrics(aggregator_.Scrape(clock_.NowMs()));
+}
+
+StatuszInfo Daemon::CollectStatusz() {
+  StatuszInfo info;
+  info.uptime_virtual_ms = clock_.NowMs();
+  info.telemetry = options_.telemetry;
+  info.requests_absorbed = aggregator_.absorbed();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  info.queued = stats_.active - stats_.running;
+  info.inflight = stats_.running;
+  info.accepted_total = stats_.accepted;
+  info.completed_total = stats_.completed;
+  info.rejected_total = stats_.rejected_overload;
+  info.cancelled_total = stats_.cancelled;
+  info.deadline_total = stats_.deadline_expired;
+  info.draining = draining_;
+  return info;
+}
+
+void Daemon::WriteStatsSnapshot() {
+  if (options_.stats_out.empty()) return;
+  std::ofstream out(options_.stats_out);
+  if (out) out << ScrapeOpenMetrics();
+  out.close();
+  if (!out) {
+    journal_.Record(obs::JournalEvent("io.error")
+                        .Set("detail",
+                             "failed writing stats snapshot: " +
+                                 options_.stats_out));
+  }
 }
 
 }  // namespace chameleon::daemon

@@ -15,6 +15,7 @@
 #include "src/embedding/embedder.h"
 #include "src/fm/corpus.h"
 #include "src/fm/deadline.h"
+#include "src/obs/aggregate.h"
 #include "src/obs/journal.h"
 #include "src/obs/virtual_clock.h"
 #include "src/util/status.h"
@@ -50,6 +51,17 @@ struct DaemonOptions {
   double drain_wait_ms = 5000.0;
   /// Worker threads executing repairs; 0 = hardware concurrency.
   int num_threads = 0;
+  /// Request-scoped telemetry (DESIGN.md §15): every accepted request
+  /// gets its own obs::Observability tagged with the request id, its
+  /// journal lines and spans are teed into the daemon journal as
+  /// `req.event`/`req.span` wrapper events, and its registry is folded
+  /// into the daemon-global Aggregator on completion. Off by default —
+  /// the serving hot path then pays nothing beyond the SLO counters.
+  bool telemetry = false;
+  /// When non-empty, every `stats` frame (and the final drain) also
+  /// writes the OpenMetrics snapshot to this path, so operators can
+  /// scrape a file instead of speaking the frame protocol.
+  std::string stats_out;
 };
 
 /// Counter snapshot; `active` must be zero after Serve returns (the
@@ -64,6 +76,8 @@ struct DaemonStats {
   int64_t protocol_errors = 0;   ///< malformed/oversized/truncated frames
   int64_t resumed = 0;           ///< journal-recovered requests re-parked
   int64_t active = 0;            ///< currently queued + running
+  int64_t running = 0;           ///< currently executing (subset of active)
+  int64_t deadline_expired = 0;  ///< completions that hit their deadline
   /// Incremental repairs that cloned a cached warm MUP index (hit) vs.
   /// built it from the base corpus (miss). The cache is in-memory only,
   /// so a resumed daemon always starts with misses — crash recovery can
@@ -142,11 +156,26 @@ class Daemon {
   /// fast (the peer is gone, but draining must still finish).
   [[nodiscard]] util::Status SendFrame(const std::string& payload);
 
+  /// Renders the aggregator's current total + windowed views as one
+  /// OpenMetrics document (what a `stats` frame returns).
+  std::string ScrapeOpenMetrics();
+
+  /// Assembles the live serving summary a `statusz` frame returns.
+  StatuszInfo CollectStatusz();
+
+  /// Writes the OpenMetrics snapshot to options_.stats_out (no-op when
+  /// unset); failures are journaled, never fatal.
+  void WriteStatsSnapshot();
+
   Transport* transport_;
   DaemonOptions options_;
 
   obs::VirtualClock clock_;
   obs::Journal journal_;
+  /// Daemon-global telemetry rollup (DESIGN.md §15). Self-synchronized;
+  /// when both are needed the lock order is state_mutex_ before the
+  /// aggregator's internal mutex (CollectStatusz), never the reverse.
+  obs::Aggregator aggregator_;
 
   std::atomic<bool> shutdown_{false};
 

@@ -18,7 +18,12 @@ std::string FormatDouble(double value) {
 }
 
 std::string Quoted(const std::string& text) {
-  return "\"" + obs::JsonEscape(text) + "\"";
+  // Built by append: GCC 12's -Wrestrict misfires on the
+  // `"literal" + std::string&&` form once JsonEscape gets inlined.
+  std::string out = "\"";
+  out += obs::JsonEscape(text);
+  out += "\"";
+  return out;
 }
 
 }  // namespace
@@ -93,6 +98,14 @@ util::Result<ParsedFrame> ParseRequestFrame(const std::string& payload) {
   }
   if (type == "shutdown") {
     frame.kind = FrameKind::kShutdown;
+    return frame;
+  }
+  if (type == "stats") {
+    frame.kind = FrameKind::kStats;
+    return frame;
+  }
+  if (type == "statusz") {
+    frame.kind = FrameKind::kStatusz;
     return frame;
   }
   if (type == "cancel") {
@@ -240,6 +253,30 @@ std::string RenderResumed(const std::string& id, const std::string& state) {
          ",\"state\":" + Quoted(state) + "}";
 }
 
+std::string RenderStats(const std::string& openmetrics_body) {
+  return "{\"type\":\"stats\",\"format\":\"openmetrics\",\"body\":" +
+         Quoted(openmetrics_body) + "}";
+}
+
+std::string RenderStatusz(const StatuszInfo& info) {
+  std::string out = "{\"type\":\"statusz\"";
+  out += ",\"uptime_virtual_ms\":" + FormatDouble(info.uptime_virtual_ms);
+  out += ",\"queued\":" + std::to_string(info.queued);
+  out += ",\"inflight\":" + std::to_string(info.inflight);
+  out += ",\"accepted_total\":" + std::to_string(info.accepted_total);
+  out += ",\"completed_total\":" + std::to_string(info.completed_total);
+  out += ",\"rejected_total\":" + std::to_string(info.rejected_total);
+  out += ",\"cancelled_total\":" + std::to_string(info.cancelled_total);
+  out += ",\"deadline_total\":" + std::to_string(info.deadline_total);
+  out += ",\"requests_absorbed\":" + std::to_string(info.requests_absorbed);
+  out += ",\"draining\":";
+  out += info.draining ? "true" : "false";
+  out += ",\"telemetry\":";
+  out += info.telemetry ? "true" : "false";
+  out += "}";
+  return out;
+}
+
 std::string RenderRepairRequest(const RepairRequestSpec& spec) {
   std::string out = "{\"type\":\"repair\",\"id\":" + Quoted(spec.id);
   out += ",\"client\":" + Quoted(spec.client);
@@ -285,6 +322,10 @@ std::string RenderCancelRequest(const std::string& id) {
 std::string RenderPing() { return "{\"type\":\"ping\"}"; }
 
 std::string RenderShutdown() { return "{\"type\":\"shutdown\"}"; }
+
+std::string RenderStatsRequest() { return "{\"type\":\"stats\"}"; }
+
+std::string RenderStatuszRequest() { return "{\"type\":\"statusz\"}"; }
 
 std::string ReportDigest(const core::RepairReport& report) {
   uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis

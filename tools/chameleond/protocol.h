@@ -47,7 +47,7 @@ struct RepairRequestSpec {
   fm::ResilienceOptions resilience;
 };
 
-enum class FrameKind { kRepair, kCancel, kPing, kShutdown };
+enum class FrameKind { kRepair, kCancel, kPing, kShutdown, kStats, kStatusz };
 
 struct ParsedFrame {
   FrameKind kind = FrameKind::kPing;
@@ -79,12 +79,37 @@ std::string RenderReport(const std::string& id,
 /// Emitted once per journal-recovered request on `--resume` startup.
 std::string RenderResumed(const std::string& id, const std::string& state);
 
+/// Live telemetry snapshot (`stats` frame, DESIGN.md §15). `body` is a
+/// complete OpenMetrics exposition document, JSON-escaped into one
+/// string field so the frame stays a single JSONL line.
+std::string RenderStats(const std::string& openmetrics_body);
+
+/// What a `statusz` frame reports: live serving state, cheap enough to
+/// poll mid-chaos-run.
+struct StatuszInfo {
+  double uptime_virtual_ms = 0.0;  ///< daemon virtual clock (NowMs)
+  int64_t queued = 0;              ///< accepted, not yet started
+  int64_t inflight = 0;            ///< started, not yet finished
+  int64_t accepted_total = 0;
+  int64_t completed_total = 0;
+  int64_t rejected_total = 0;      ///< admission rejects
+  int64_t cancelled_total = 0;
+  int64_t deadline_total = 0;      ///< deadline-expired completions
+  int64_t requests_absorbed = 0;   ///< registries folded into the aggregate
+  bool draining = false;
+  bool telemetry = false;          ///< whether --telemetry is on
+};
+
+std::string RenderStatusz(const StatuszInfo& info);
+
 // --- client -> server frames (tests, benches, future CLI client) -----------
 
 std::string RenderRepairRequest(const RepairRequestSpec& spec);
 std::string RenderCancelRequest(const std::string& id);
 std::string RenderPing();
 std::string RenderShutdown();
+std::string RenderStatsRequest();
+std::string RenderStatuszRequest();
 
 /// FNV-1a digest over a report's generation records (target values,
 /// embedding bit patterns, arm, acceptance), rendered as 16 hex digits.

@@ -94,7 +94,55 @@ run_daemon() {
     cmake --build "${dir}" -j "${PARALLEL}" --target daemon_test
     echo "==== [daemon] ctest -L daemon (${config}) ===="
     ctest --test-dir "${dir}" --output-on-failure -L daemon
+    run_daemon_scrape "${dir}" "${config}"
   done
+}
+
+# Emits one length-prefixed frame (4-byte little-endian length, then the
+# payload) on stdout. Payloads here are well under 65536 bytes, so the
+# two high length bytes are always zero.
+frame() {
+  local payload="$1"
+  local len=${#payload}
+  printf "$(printf '\\%03o\\%03o\\000\\000' $((len % 256)) $((len / 256)))%s" \
+      "${payload}"
+}
+
+# Live telemetry scrape (DESIGN.md §15): start a real chameleond with
+# --telemetry, drive two faulty repairs through the frame protocol, send
+# a `stats` frame while they are in flight, and gate on the snapshot:
+# the OpenMetrics exposition must pass `obsctl validate` and the daemon
+# journal must pass `obsctl aggregate` (per-request contracts hold).
+run_daemon_scrape() {
+  local dir="$1" config="$2"
+  local scrape="${dir}/daemon-scrape"
+  echo "==== [daemon] build chameleond + obsctl (${config}) ===="
+  cmake --build "${dir}" -j "${PARALLEL}" --target chameleond obsctl
+  rm -rf "${scrape}"
+  mkdir -p "${scrape}"
+  mkfifo "${scrape}/in.fifo"
+  echo "==== [daemon] live stats scrape (${config}) ===="
+  "${dir}/tools/chameleond/chameleond" \
+      --telemetry --threads=2 \
+      --journal="${scrape}/daemon.jsonl" \
+      --stats-out="${scrape}/stats.om" \
+      < "${scrape}/in.fifo" > "${scrape}/out.bin" 2> "${scrape}/err.txt" &
+  local daemon_pid=$!
+  {
+    frame '{"type":"repair","id":"ci-scrape-a","client":"ci","dataset":"micro","max_queries":24,"faults":{"transient_rate":0.2,"rate_limit_rate":0.1,"seed":7}}'
+    frame '{"type":"repair","id":"ci-scrape-b","client":"ci","dataset":"micro","max_queries":24,"seed":17,"faults":{"transient_rate":0.2,"deadline_rate":0.1,"seed":11}}'
+    # The reader thread handles `stats` inline while the two repairs run
+    # on the worker pool, so this scrape observes mid-run telemetry.
+    frame '{"type":"stats"}'
+    frame '{"type":"shutdown"}'
+  } > "${scrape}/in.fifo"
+  if ! wait "${daemon_pid}"; then
+    echo "==== [daemon] FAILED: chameleond exited nonzero (${config}) ====" >&2
+    cat "${scrape}/err.txt" >&2
+    return 1
+  fi
+  "${dir}/tools/obsctl/obsctl" validate "${scrape}/stats.om"
+  "${dir}/tools/obsctl/obsctl" aggregate "--journal=${scrape}/daemon.jsonl"
 }
 
 # Builds only the linter and runs it over the tree (all rules, the

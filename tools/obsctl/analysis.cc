@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "src/obs/metrics.h"
 #include "src/util/table_printer.h"
@@ -179,23 +180,82 @@ util::Result<JournalStats> AnalyzeJournal(const std::string& jsonl_text) {
   return stats;
 }
 
+namespace {
+
+/// A span line lifted out of JSON, keyed by (request id, span id).
+struct ParsedSpan {
+  std::string rid;
+  int64_t id = 0;
+  int64_t parent_id = 0;
+  int recorded_depth = 0;
+  std::string name;
+  int64_t start_tick = 0;
+  int64_t end_tick = 0;
+};
+
+}  // namespace
+
 util::Result<std::vector<SpanRollup>> AnalyzeTrace(
     const std::string& jsonl_text, bool* truncated) {
   auto file = ParseJsonl(jsonl_text);
   if (!file.ok()) return file.status();
   if (truncated != nullptr) *truncated = file->truncated_tail;
 
-  std::vector<SpanRollup> rollups;
-  for (const JsonValue& span : file->lines) {
-    if (!span.is_object() || span.Find("name") == nullptr ||
-        span.Find("start_tick") == nullptr) {
+  // Pass 1: collect spans keyed by (rid, id). Two concurrent requests
+  // both number their spans from 1, so the id alone is ambiguous in a
+  // combined artifact — the rid disambiguates. Duplicate records of one
+  // key (a streamed file's catch-up write next to the final Write())
+  // collapse to a single span, preferring the completed record.
+  std::vector<ParsedSpan> spans;
+  std::map<std::pair<std::string, int64_t>, size_t> by_key;
+  for (const JsonValue& line : file->lines) {
+    if (!line.is_object() || line.Find("name") == nullptr ||
+        line.Find("start_tick") == nullptr) {
       return util::Status::InvalidArgument(
           "trace line is not a span record");
     }
-    const std::string name = span.StringOr("name", "?");
+    ParsedSpan span;
+    span.rid = line.StringOr("rid", "");
+    span.id = line.IntOr("id", 0);
+    span.parent_id = line.IntOr("parent", line.IntOr("parent_id", 0));
+    span.recorded_depth = static_cast<int>(line.IntOr("depth", 0));
+    span.name = line.StringOr("name", "?");
+    span.start_tick = line.IntOr("start_tick", 0);
+    span.end_tick = line.IntOr("end_tick", 0);
+    if (span.id != 0) {
+      const auto key = std::make_pair(span.rid, span.id);
+      auto it = by_key.find(key);
+      if (it != by_key.end()) {
+        ParsedSpan& existing = spans[it->second];
+        if (existing.end_tick == 0 && span.end_tick != 0) existing = span;
+        continue;
+      }
+      by_key.emplace(key, spans.size());
+    }
+    spans.push_back(std::move(span));
+  }
+
+  // Pass 2: depth from the parent chain *within the same request*. Only
+  // a chain that fully resolves to a root is trusted; a missing link
+  // (streamed partial file) falls back to the recorded depth.
+  const auto chain_depth = [&](const ParsedSpan& span) {
+    int depth = 0;
+    int64_t cursor = span.parent_id;
+    for (size_t guard = 0; cursor != 0 && guard <= spans.size(); ++guard) {
+      auto it = by_key.find(std::make_pair(span.rid, cursor));
+      if (it == by_key.end()) return span.recorded_depth;
+      cursor = spans[it->second].parent_id;
+      ++depth;
+    }
+    return cursor == 0 ? depth : span.recorded_depth;  // cycle = fallback
+  };
+
+  std::vector<SpanRollup> rollups;
+  for (const ParsedSpan& span : spans) {
+    const int depth = chain_depth(span);
     SpanRollup* rollup = nullptr;
     for (SpanRollup& candidate : rollups) {
-      if (candidate.name == name) {
+      if (candidate.name == span.name) {
         rollup = &candidate;
         break;
       }
@@ -203,20 +263,17 @@ util::Result<std::vector<SpanRollup>> AnalyzeTrace(
     if (rollup == nullptr) {
       rollups.emplace_back();
       rollup = &rollups.back();
-      rollup->name = name;
-      rollup->depth = static_cast<int>(span.IntOr("depth", 0));
+      rollup->name = span.name;
+      rollup->depth = depth;
     }
-    rollup->depth =
-        std::min(rollup->depth, static_cast<int>(span.IntOr("depth", 0)));
-    const int64_t start = span.IntOr("start_tick", 0);
-    const int64_t end = span.IntOr("end_tick", 0);
-    if (end == 0) {
+    rollup->depth = std::min(rollup->depth, depth);
+    if (span.end_tick == 0) {
       ++rollup->open;
       continue;
     }
     ++rollup->count;
-    rollup->total_ticks += end - start;
-    rollup->ticks.Add(static_cast<double>(end - start));
+    rollup->total_ticks += span.end_tick - span.start_tick;
+    rollup->ticks.Add(static_cast<double>(span.end_tick - span.start_tick));
   }
   return rollups;
 }
@@ -634,6 +691,270 @@ util::Status ValidateBenchJson(const std::string& text) {
     }
   }
   return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Strips `{label="..."}` from a sample line; returns the bare metric
+/// name (empty = malformed).
+std::string SampleMetricName(const std::string& line, std::string* labels) {
+  const size_t brace = line.find('{');
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) return "";
+  if (brace != std::string::npos && brace < space) {
+    const size_t close = line.find('}', brace);
+    if (close == std::string::npos || close > space) return "";
+    if (labels != nullptr) *labels = line.substr(brace + 1, close - brace - 1);
+    return line.substr(0, brace);
+  }
+  if (labels != nullptr) labels->clear();
+  return line.substr(0, space);
+}
+
+bool ParseSampleValue(const std::string& line, double* value) {
+  const size_t space = line.rfind(' ');
+  if (space == std::string::npos || space + 1 >= line.size()) return false;
+  const std::string text = line.substr(space + 1);
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+util::Status ValidateOpenMetrics(const std::string& text) {
+  const std::vector<std::string> lines = SplitLines(text);
+  if (lines.empty()) {
+    return util::Status::InvalidArgument("empty OpenMetrics document");
+  }
+  if (lines.back() != "# EOF") {
+    return util::Status::InvalidArgument(
+        "OpenMetrics document must end with '# EOF'");
+  }
+  std::map<std::string, std::string> declared;  // metric -> kind
+  std::string bucket_metric;  // histogram currently mid-bucket-sequence
+  double bucket_cumulative = 0.0;
+  bool bucket_saw_inf = false;
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::string where = "line " + std::to_string(i + 1);
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        return util::Status::InvalidArgument(where +
+                                             ": malformed TYPE comment");
+      }
+      const std::string name = rest.substr(0, space);
+      const std::string kind = rest.substr(space + 1);
+      if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+          kind != "summary") {
+        return util::Status::InvalidArgument(
+            where + ": unknown metric kind '" + kind + "'");
+      }
+      if (!declared.emplace(name, kind).second) {
+        return util::Status::InvalidArgument(
+            where + ": metric '" + name + "' declared twice");
+      }
+      continue;
+    }
+    if (line.rfind('#', 0) == 0) {
+      return util::Status::InvalidArgument(where + ": unexpected comment");
+    }
+    std::string labels;
+    const std::string sample = SampleMetricName(line, &labels);
+    if (sample.empty()) {
+      return util::Status::InvalidArgument(where + ": malformed sample");
+    }
+    double value = 0.0;
+    if (!ParseSampleValue(line, &value)) {
+      return util::Status::InvalidArgument(where +
+                                           ": sample value is not a number");
+    }
+    // Resolve the sample back to its declaration: exact name (gauges,
+    // summaries), or name + conventional suffix (counters' _total,
+    // histograms' _bucket/_sum/_count).
+    std::string metric = sample;
+    std::string suffix;
+    auto it = declared.find(metric);
+    if (it == declared.end()) {
+      const size_t underscore = sample.rfind('_');
+      if (underscore != std::string::npos) {
+        metric = sample.substr(0, underscore);
+        suffix = sample.substr(underscore + 1);
+        it = declared.find(metric);
+      }
+    }
+    if (it == declared.end()) {
+      return util::Status::InvalidArgument(
+          where + ": sample '" + sample + "' has no TYPE declaration");
+    }
+    const std::string& kind = it->second;
+    if (kind == "counter" && suffix != "total") {
+      return util::Status::InvalidArgument(
+          where + ": counter sample must use the _total suffix");
+    }
+    if (kind == "histogram" && suffix != "bucket" && suffix != "sum" &&
+        suffix != "count") {
+      return util::Status::InvalidArgument(
+          where + ": histogram sample needs a _bucket/_sum/_count suffix");
+    }
+    // Cumulative-bucket discipline, per histogram bucket run.
+    const bool is_bucket = kind == "histogram" && suffix == "bucket";
+    if (!is_bucket || metric != bucket_metric) {
+      bucket_metric.clear();
+      bucket_cumulative = 0.0;
+      bucket_saw_inf = false;
+    }
+    if (is_bucket) {
+      if (bucket_saw_inf && metric == bucket_metric) {
+        return util::Status::InvalidArgument(
+            where + ": bucket after le=\"+Inf\"");
+      }
+      if (!bucket_metric.empty() && value < bucket_cumulative) {
+        return util::Status::InvalidArgument(
+            where + ": bucket counts must be cumulative");
+      }
+      bucket_metric = metric;
+      bucket_cumulative = value;
+      if (labels.find("le=\"+Inf\"") != std::string::npos) {
+        bucket_saw_inf = true;
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Daemon journal aggregation
+// ---------------------------------------------------------------------------
+
+bool DaemonAggregate::AllContractsHold() const {
+  for (const RequestRollup& request : requests) {
+    if (!request.contract_ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+RequestRollup* FindOrAddRequest(DaemonAggregate* aggregate,
+                                const std::string& id) {
+  for (RequestRollup& request : aggregate->requests) {
+    if (request.id == id) return &request;
+  }
+  aggregate->requests.emplace_back();
+  aggregate->requests.back().id = id;
+  return &aggregate->requests.back();
+}
+
+}  // namespace
+
+util::Result<DaemonAggregate> AggregateDaemonJournal(
+    const std::string& jsonl_text) {
+  auto file = ParseJsonl(jsonl_text);
+  if (!file.ok()) return file.status();
+
+  DaemonAggregate aggregate;
+  aggregate.truncated_tail = file->truncated_tail;
+  for (const JsonValue& event : file->lines) {
+    if (!event.is_object()) {
+      return util::Status::InvalidArgument(
+          "daemon journal line is not a JSON object");
+    }
+    ++aggregate.total_lines;
+    const std::string type = event.StringOr("type", "");
+    if (type == "daemon.start") {
+      aggregate.has_daemon_start = true;
+    } else if (type == "daemon.exit") {
+      aggregate.has_daemon_exit = true;
+    } else if (type == "req.accepted") {
+      RequestRollup* request =
+          FindOrAddRequest(&aggregate, event.StringOr("id", "?"));
+      request->client = event.StringOr("client", "");
+    } else if (type == "req.end") {
+      RequestRollup* request =
+          FindOrAddRequest(&aggregate, event.StringOr("id", "?"));
+      request->status = event.StringOr("status", "?");
+      request->accepted = event.IntOr("accepted", 0);
+      request->queries = event.IntOr("queries", 0);
+      request->digest = event.StringOr("digest", "");
+    } else if (type == "req.event" || type == "req.span") {
+      // Wrapper events (DESIGN.md §15): `line` carries the request's
+      // original artifact line byte-for-byte (only JSON string escaping
+      // in between, undone by the parser here).
+      const std::string rid = event.StringOr("rid", "");
+      const std::string inner = event.StringOr("line", "");
+      if (rid.empty() || inner.empty()) {
+        return util::Status::InvalidArgument(
+            "wrapper event is missing rid/line");
+      }
+      ++aggregate.wrapper_events;
+      RequestRollup* request = FindOrAddRequest(&aggregate, rid);
+      if (type == "req.event") {
+        request->journal_lines.push_back(inner);
+      } else {
+        request->span_lines.push_back(inner);
+      }
+    }
+    // req.start / req.cancel / req.resumed / proto.* / io.error only
+    // count toward total_lines.
+  }
+
+  // Per-request contract checks over the reassembled journals.
+  for (RequestRollup& request : aggregate.requests) {
+    if (request.journal_lines.empty()) continue;
+    std::string joined;
+    for (const std::string& line : request.journal_lines) {
+      joined += line;
+      joined += '\n';
+    }
+    auto stats = AnalyzeJournal(joined);
+    request.contract_ok = stats.ok() && stats->ContractHolds();
+  }
+  return aggregate;
+}
+
+std::string RenderDaemonAggregate(const DaemonAggregate& aggregate) {
+  std::string out = "== obsctl aggregate ==\n";
+  out += "daemon journal lines: " + util::Fmt(aggregate.total_lines);
+  if (aggregate.truncated_tail) {
+    out += " (truncated tail: dropped 1 incomplete line)";
+  }
+  out += "\n";
+  out += "lifecycle: start=" +
+         std::string(aggregate.has_daemon_start ? "yes" : "no") +
+         " exit=" + (aggregate.has_daemon_exit ? "yes" : "no") +
+         " wrapper_events=" + util::Fmt(aggregate.wrapper_events) + "\n";
+  util::TablePrinter table({"request", "client", "status", "accepted",
+                            "queries", "events", "spans", "contract",
+                            "digest"});
+  for (const RequestRollup& request : aggregate.requests) {
+    table.AddRow({request.id, request.client,
+                  request.status.empty() ? "(in flight)" : request.status,
+                  util::Fmt(request.accepted), util::Fmt(request.queries),
+                  util::Fmt(request.journal_lines.size()),
+                  util::Fmt(request.span_lines.size()),
+                  request.contract_ok ? "OK" : "VIOLATED",
+                  request.digest.empty() ? "-" : request.digest});
+  }
+  out += table.ToString();
+  return out;
+}
+
+std::string RenderTailLine(const std::string& line) {
+  auto event = ParseJson(line);
+  if (!event.ok() || !event->is_object()) return line;
+  const std::string type = event->StringOr("type", "");
+  if (type != "req.event" && type != "req.span") return line;
+  const std::string rid = event->StringOr("rid", "");
+  const std::string inner = event->StringOr("line", "");
+  if (rid.empty() || inner.empty()) return line;
+  return "[" + rid + "] " + inner;
 }
 
 }  // namespace chameleon::obsctl

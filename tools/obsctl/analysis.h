@@ -118,6 +118,15 @@ struct SpanRollup {
 
 /// Rollups in first-seen order; tolerates a truncated tail like the
 /// journal parser. `truncated` may be null.
+///
+/// Spans are keyed by (request id, span id) — NOT span id alone — so a
+/// combined trace carrying interleaved spans from concurrent requests
+/// (each request numbers its spans from 1) never conflates two
+/// requests' spans. Duplicate records of one (rid, id) collapse to a
+/// single span, preferring the completed record; depth comes from
+/// walking the parent chain within the same request, falling back to
+/// the recorded depth when the chain doesn't fully resolve (streamed
+/// partial files).
 [[nodiscard]] util::Result<std::vector<SpanRollup>> AnalyzeTrace(
     const std::string& jsonl_text, bool* truncated);
 
@@ -189,6 +198,68 @@ inline constexpr int64_t kBenchSchemaVersion = 1;
 /// `cases` a non-empty array of {name, ns_per_op >= 0, iterations >= 1,
 /// p50_ns <= p90_ns <= p99_ns}.
 [[nodiscard]] util::Status ValidateBenchJson(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// OpenMetrics validation (the `stats` frame / --stats-out body)
+// ---------------------------------------------------------------------------
+
+/// Structurally validates an OpenMetrics text exposition as produced by
+/// obs::ExportOpenMetrics: every sample belongs to a preceding `# TYPE`
+/// declaration of a known kind (counter/gauge/histogram/summary),
+/// counter samples carry the `_total` suffix, histogram bucket counts
+/// are cumulative (non-decreasing, `le="+Inf"` last), sample values
+/// parse as numbers, and the document ends with `# EOF`.
+[[nodiscard]] util::Status ValidateOpenMetrics(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Daemon journal aggregation (obsctl aggregate / tail)
+// ---------------------------------------------------------------------------
+
+/// One request's slice of a daemon journal, reassembled from the
+/// `req.*` lifecycle events plus the `req.event`/`req.span` wrapper
+/// lines that tee its request-scoped artifacts (DESIGN.md §15). The
+/// extracted `journal_lines`/`span_lines` are the original bytes of the
+/// per-request artifacts — what the byte-identity contract is checked
+/// against.
+struct RequestRollup {
+  std::string id;
+  std::string client;
+  std::string status;  // req.end status; "" = never finished (in flight)
+  int64_t accepted = 0;
+  int64_t queries = 0;
+  std::string digest;  // req.end records digest
+  std::vector<std::string> journal_lines;  // unwrapped req.event payloads
+  std::vector<std::string> span_lines;     // unwrapped req.span payloads
+  /// AnalyzeJournal's registry contract over journal_lines (vacuously
+  /// true when no telemetry was captured for the request).
+  bool contract_ok = true;
+};
+
+struct DaemonAggregate {
+  std::vector<RequestRollup> requests;  // first-seen order
+  int64_t total_lines = 0;
+  int64_t wrapper_events = 0;  // req.event + req.span lines
+  bool has_daemon_start = false;
+  bool has_daemon_exit = false;
+  bool truncated_tail = false;
+
+  bool AllContractsHold() const;
+};
+
+/// Splits a (possibly live, possibly truncated) daemon journal into
+/// per-request rollups and runs the per-request contract checks.
+[[nodiscard]] util::Result<DaemonAggregate> AggregateDaemonJournal(
+    const std::string& jsonl_text);
+
+/// Human-readable rollup table + contract verdicts (obsctl aggregate).
+std::string RenderDaemonAggregate(const DaemonAggregate& aggregate);
+
+/// One daemon-journal line rendered for `obsctl tail`: wrapper events
+/// unwrap to `[<rid>] <original artifact line>`; every other line
+/// passes through verbatim. Returns the rendered line WITHOUT a
+/// trailing newline; unparseable lines pass through verbatim too (the
+/// tail must never hide what the daemon wrote).
+std::string RenderTailLine(const std::string& line);
 
 }  // namespace chameleon::obsctl
 

@@ -11,18 +11,34 @@
 //       JSONL, or run journals) and flags relative deltas beyond the
 //       threshold. Exit 1 when any flagged delta is in the regressing
 //       direction.
-//   obsctl validate <bench.json> [...]
-//       Schema-validates BENCH_*.json reports. Exit 1 on the first
-//       invalid file.
+//   obsctl validate <file> [...]
+//       Schema-validates BENCH_*.json reports and OpenMetrics snapshots
+//       (a file starting with '#' is treated as OpenMetrics — the
+//       `stats` frame / --stats-out body). Exit 1 on the first invalid
+//       file.
+//   obsctl aggregate --journal=<daemon.jsonl> [--out-dir=<dir>]
+//       Splits a daemon journal into per-request rollups (one row per
+//       request id), re-runs the per-request registry contract over the
+//       unwrapped telemetry, and optionally writes each request's
+//       journal/trace back out as standalone artifacts. Exit 1 when any
+//       request's contract is violated.
+//   obsctl tail --journal=<daemon.jsonl> [--follow] [--poll-ms=200]
+//       [--max-polls=N]
+//       Prints a daemon journal with `req.event`/`req.span` wrapper
+//       lines unwrapped to `[<rid>] <original line>`. --follow keeps
+//       polling for appended lines until daemon.exit (or --max-polls).
 //
 // All inputs tolerate a truncated final line (a run killed mid-write
 // with streaming sinks attached); corruption anywhere else is an error.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/util/status.h"
@@ -42,7 +58,10 @@ void PrintUsage() {
       "  obsctl report --journal=<path> [--trace=<path>] "
       "[--metrics=<path>]\n"
       "  obsctl diff <base> <new> [--threshold=<fraction, default 0.25>]\n"
-      "  obsctl validate <bench.json> [...]\n");
+      "  obsctl validate <bench.json | stats.om> [...]\n"
+      "  obsctl aggregate --journal=<daemon.jsonl> [--out-dir=<dir>]\n"
+      "  obsctl tail --journal=<daemon.jsonl> [--follow] [--poll-ms=200]\n"
+      "              [--max-polls=<n>]\n");
 }
 
 util::Result<std::string> ReadFile(const std::string& path) {
@@ -166,7 +185,7 @@ int RunDiff(std::vector<std::string> args) {
 int RunValidate(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr,
-                 "obsctl validate: expected at least one bench JSON path\n");
+                 "obsctl validate: expected at least one file path\n");
     return kExitUsage;
   }
   for (const std::string& path : args) {
@@ -176,13 +195,179 @@ int RunValidate(const std::vector<std::string>& args) {
                    text.status().ToString().c_str());
       return kExitUsage;
     }
-    const util::Status status = ValidateBenchJson(*text);
+    // OpenMetrics expositions always open with a '#' comment line
+    // (`# TYPE ...` or bare `# EOF`); bench reports open with '{'.
+    const bool openmetrics = !text->empty() && (*text)[0] == '#';
+    const util::Status status =
+        openmetrics ? ValidateOpenMetrics(*text) : ValidateBenchJson(*text);
     if (!status.ok()) {
       std::fprintf(stderr, "obsctl validate: %s: %s\n", path.c_str(),
                    status.ToString().c_str());
       return kExitViolation;
     }
-    std::printf("%s: OK\n", path.c_str());
+    std::printf("%s: OK (%s)\n", path.c_str(),
+                openmetrics ? "openmetrics" : "bench json");
+  }
+  return kExitOk;
+}
+
+/// File-name-safe form of a request id (ids are client-chosen strings).
+std::string SanitizeForFilename(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (const char c : id) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out.push_back(safe ? c : '_');
+  }
+  return out.empty() ? "_" : out;
+}
+
+util::Status WriteLines(const std::string& path,
+                        const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  for (const std::string& line : lines) {
+    out << line << '\n';
+  }
+  out.flush();
+  if (!out) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+int RunAggregate(std::vector<std::string> args) {
+  std::string journal_path;
+  std::string out_dir;
+  if (!TakeFlag(&args, "journal", &journal_path)) {
+    std::fprintf(stderr,
+                 "obsctl aggregate: --journal=<path> is required\n");
+    return kExitUsage;
+  }
+  TakeFlag(&args, "out-dir", &out_dir);
+  if (!args.empty()) {
+    std::fprintf(stderr, "obsctl aggregate: unknown argument: %s\n",
+                 args[0].c_str());
+    return kExitUsage;
+  }
+  auto text = ReadFile(journal_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "obsctl aggregate: %s\n",
+                 text.status().ToString().c_str());
+    return kExitUsage;
+  }
+  auto aggregate = AggregateDaemonJournal(*text);
+  if (!aggregate.ok()) {
+    std::fprintf(stderr, "obsctl aggregate: %s\n",
+                 aggregate.status().ToString().c_str());
+    return kExitUsage;
+  }
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "obsctl aggregate: cannot create %s: %s\n",
+                   out_dir.c_str(), ec.message().c_str());
+      return kExitUsage;
+    }
+    for (const RequestRollup& request : aggregate->requests) {
+      const std::string stem = out_dir + "/" + SanitizeForFilename(request.id);
+      if (!request.journal_lines.empty()) {
+        const util::Status wrote =
+            WriteLines(stem + ".journal.jsonl", request.journal_lines);
+        if (!wrote.ok()) {
+          std::fprintf(stderr, "obsctl aggregate: %s\n",
+                       wrote.ToString().c_str());
+          return kExitUsage;
+        }
+      }
+      if (!request.span_lines.empty()) {
+        const util::Status wrote =
+            WriteLines(stem + ".trace.jsonl", request.span_lines);
+        if (!wrote.ok()) {
+          std::fprintf(stderr, "obsctl aggregate: %s\n",
+                       wrote.ToString().c_str());
+          return kExitUsage;
+        }
+      }
+    }
+  }
+  std::fputs(RenderDaemonAggregate(*aggregate).c_str(), stdout);
+  return aggregate->AllContractsHold() ? kExitOk : kExitViolation;
+}
+
+int RunTail(std::vector<std::string> args) {
+  std::string journal_path;
+  std::string poll_ms_text = "200";
+  std::string max_polls_text;
+  if (!TakeFlag(&args, "journal", &journal_path)) {
+    std::fprintf(stderr, "obsctl tail: --journal=<path> is required\n");
+    return kExitUsage;
+  }
+  bool follow = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--follow") {
+      follow = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  TakeFlag(&args, "poll-ms", &poll_ms_text);
+  TakeFlag(&args, "max-polls", &max_polls_text);
+  if (!args.empty()) {
+    std::fprintf(stderr, "obsctl tail: unknown argument: %s\n",
+                 args[0].c_str());
+    return kExitUsage;
+  }
+  const int poll_ms = std::atoi(poll_ms_text.c_str());
+  const long max_polls =
+      max_polls_text.empty() ? -1 : std::atol(max_polls_text.c_str());
+  if (poll_ms < 1) {
+    std::fprintf(stderr, "obsctl tail: bad --poll-ms: %s\n",
+                 poll_ms_text.c_str());
+    return kExitUsage;
+  }
+
+  // Offset-based incremental reads: only complete ('\n'-terminated)
+  // lines are consumed, so a line the daemon is mid-appending is picked
+  // up whole on a later poll instead of being printed ragged.
+  size_t offset = 0;
+  std::string pending;
+  bool saw_exit = false;
+  long polls = 0;
+  for (;;) {
+    {
+      std::ifstream in(journal_path, std::ios::binary);
+      if (!in) {
+        if (!follow) {
+          std::fprintf(stderr, "obsctl tail: cannot open %s\n",
+                       journal_path.c_str());
+          return kExitUsage;
+        }
+      } else {
+        in.seekg(static_cast<std::streamoff>(offset));
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        pending += buffer.str();
+        offset += buffer.str().size();
+      }
+    }
+    size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      const std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (line.empty()) continue;
+      std::printf("%s\n", RenderTailLine(line).c_str());
+      if (line.find("\"type\":\"daemon.exit\"") != std::string::npos) {
+        saw_exit = true;
+      }
+    }
+    std::fflush(stdout);
+    if (!follow || saw_exit) break;
+    ++polls;
+    if (max_polls >= 0 && polls >= max_polls) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
   }
   return kExitOk;
 }
@@ -197,6 +382,8 @@ int Main(int argc, char** argv) {
   if (command == "report") return RunReport(std::move(args));
   if (command == "diff") return RunDiff(std::move(args));
   if (command == "validate") return RunValidate(args);
+  if (command == "aggregate") return RunAggregate(std::move(args));
+  if (command == "tail") return RunTail(std::move(args));
   std::fprintf(stderr, "obsctl: unknown command: %s\n", command.c_str());
   PrintUsage();
   return kExitUsage;
